@@ -1,0 +1,483 @@
+// Package kronbip_test benchmarks every experiment of the paper's
+// evaluation (DESIGN.md §4) plus ablations of the kernels that make the
+// ground-truth pipeline fast.  Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Naming: Benchmark<ExperimentID>_* matches the per-experiment index in
+// DESIGN.md; the *_Ablation_* benches quantify individual design choices
+// (parallel vs serial kernels, formula vs brute force).
+package kronbip_test
+
+import (
+	"testing"
+
+	"kronbip/internal/approx"
+	"kronbip/internal/bter"
+	"kronbip/internal/core"
+	"kronbip/internal/count"
+	"kronbip/internal/dist"
+	"kronbip/internal/experiments"
+	"kronbip/internal/gen"
+	"kronbip/internal/grb"
+	"kronbip/internal/rmat"
+	"kronbip/internal/wing"
+)
+
+// unicodeProduct builds the Table I product once per benchmark.
+func unicodeProduct(b *testing.B) *core.Product {
+	b.Helper()
+	a := gen.UnicodeLike(2020)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// smallUnicodeProduct is a quarter-scale variant for benchmarks that must
+// materialize and brute-force count inside the timed loop.
+func smallUnicodeProduct(b *testing.B) *core.Product {
+	b.Helper()
+	a := gen.BipartiteScaleFree(64, 150, 320, 2020)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// --- EXP-T1: Table I ---
+
+// BenchmarkTableI_GroundTruth times the paper's headline operation: factor
+// statistics plus the closed-form global 4-cycle count of the ~4.2M-edge
+// product, with no materialization.
+func BenchmarkTableI_GroundTruth(b *testing.B) {
+	a := gen.UnicodeLike(2020)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p.GlobalFourCycles()
+	}
+}
+
+// BenchmarkTableI_DirectCount is the competing path at reduced scale:
+// materialize the product and count butterflies by wedges.
+func BenchmarkTableI_DirectCount(b *testing.B) {
+	p := smallUnicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := p.Materialize(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := count.GlobalButterflies(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_Materialize isolates product materialization cost.
+func BenchmarkTableI_Materialize(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Materialize(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_EdgeStream times streaming all product edges with their
+// per-edge 4-cycle ground truth (the "local quantities in linear time"
+// claim) without materializing.
+func BenchmarkTableI_EdgeStream(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink int64
+		p.EachEdgeFourCycle(func(_, _ int, sq int64) bool {
+			sink += sq
+			return true
+		})
+		if sink == 0 {
+			b.Fatal("no edges streamed")
+		}
+	}
+}
+
+// --- EXP-F5: Fig. 5 ---
+
+// BenchmarkFig5_VertexVector times the full per-vertex ground-truth vector
+// of the 753k-vertex product (the Fig. 5 scatter's y-axis).
+func BenchmarkFig5_VertexVector(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := p.VertexFourCycles(); len(v) != p.N() {
+			b.Fatal("short vector")
+		}
+	}
+}
+
+// BenchmarkFig5_Full regenerates the complete figure data (both scatters
+// plus binning).
+func BenchmarkFig5_Full(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig5(2020); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-F1: Fig. 1 ---
+
+// BenchmarkFig1 regenerates the three small-product panels with
+// connectivity/bipartiteness checks and 4-cycle inventories.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1()
+		if err != nil || !res.Valid() {
+			b.Fatal("fig1 failed")
+		}
+	}
+}
+
+// --- EXP-THM3/4/5 ---
+
+// BenchmarkThm3_VertexGroundTruth times mode-(i) per-vertex formulas.
+func BenchmarkThm3_VertexGroundTruth(b *testing.B) {
+	p, err := core.New(gen.Petersen(), gen.Crown(6).Graph, core.ModeNonBipartiteFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.VertexFourCycles()
+	}
+}
+
+// BenchmarkThm4_VertexGroundTruth times mode-(ii) per-vertex formulas.
+func BenchmarkThm4_VertexGroundTruth(b *testing.B) {
+	p, err := core.New(gen.Hypercube(4), gen.Crown(6).Graph, core.ModeSelfLoopFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.VertexFourCycles()
+	}
+}
+
+// BenchmarkThm5_EdgePointQueries times O(1) per-edge ground-truth queries.
+func BenchmarkThm5_EdgePointQueries(b *testing.B) {
+	p := unicodeProduct(b)
+	// Collect a query workload once.
+	type q struct{ v, w int }
+	var queries []q
+	p.EachEdge(func(v, w int) bool {
+		queries = append(queries, q{v, w})
+		return len(queries) < 4096
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qq := queries[i%len(queries)]
+		if _, err := p.EdgeFourCyclesAt(qq.v, qq.w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThm345_FullValidationSweep runs the whole formula-vs-brute-force
+// sweep (10 factor pairs, both modes).
+func BenchmarkThm345_FullValidationSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFormulaValidation()
+		if err != nil || !res.Valid() {
+			b.Fatal("validation sweep failed")
+		}
+	}
+}
+
+// --- EXP-THM6 ---
+
+// BenchmarkThm6_ClusteringLaw checks the scaling law on every edge of
+// K5 ⊗ crown4.
+func BenchmarkThm6_ClusteringLaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunClusteringLaw(1)
+		if err != nil || !res.BoundOK {
+			b.Fatal("thm6 failed")
+		}
+	}
+}
+
+// --- EXP-THM7 ---
+
+// BenchmarkThm7_CommunityFormulas times the closed-form community edge
+// counts against exact counting on the materialized product.
+func BenchmarkThm7_CommunityFormulas(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCommunity(3)
+		if err != nil || !res.FormulasExact {
+			b.Fatal("thm7 failed")
+		}
+	}
+}
+
+// --- EXP-REM1 ---
+
+// BenchmarkRemark1_WingDecomposition times the 4-cycle-free-factor sweep
+// including full wing decompositions of each product.
+func BenchmarkRemark1_WingDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunRemark1()
+		if err != nil || !res.Valid() {
+			b.Fatal("rem1 failed")
+		}
+	}
+}
+
+// --- EXP-SCALE ---
+
+// BenchmarkScale_GroundTruthVsDirect runs a 3-step scaling comparison.
+func BenchmarkScale_GroundTruthVsDirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScaling(3, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-BASE: §I baselines ---
+
+// BenchmarkRMAT_Generate times the bipartite R-MAT baseline.
+func BenchmarkRMAT_Generate(b *testing.B) {
+	p := rmat.DefaultParams(10, 11, 8000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rmat.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBTER_Generate times the bipartite BTER baseline.
+func BenchmarkBTER_Generate(b *testing.B) {
+	p := bter.Params{
+		DegreesU:      bter.HeavyTailDegrees(1024, 60, 2, 1),
+		DegreesW:      bter.HeavyTailDegrees(2048, 40, 2, 2),
+		BlockFraction: 0.6,
+		BlockDensity:  0.8,
+		Seed:          1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bter.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-ECC: distance ground truth ---
+
+// BenchmarkDistances_GroundTruth times exact diameter + all eccentricities
+// from factor BFS tables on a mid-size product.
+func BenchmarkDistances_GroundTruth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := core.New(gen.Petersen(), gen.Grid(3, 5), core.ModeNonBipartiteFactor)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Diameter(); err != nil {
+			b.Fatal(err)
+		}
+		for v := 0; v < p.N(); v++ {
+			if _, err := p.EccentricityAt(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkDistances_BFS is the competing all-pairs BFS on the
+// materialized product.
+func BenchmarkDistances_BFS(b *testing.B) {
+	p, err := core.New(gen.Petersen(), gen.Grid(3, 5), core.ModeNonBipartiteFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := p.Materialize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Diameter()
+	}
+}
+
+// --- EXP-DEG: degree-distribution ground truth ---
+
+// BenchmarkDegrees_ClosedFormHistogram times the exact product degree
+// histogram at full Table I scale (never touches the product).
+func BenchmarkDegrees_ClosedFormHistogram(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h := p.DegreeHistogram(); len(h) == 0 {
+			b.Fatal("empty histogram")
+		}
+	}
+}
+
+// --- EXP-APPROX: estimator grading ---
+
+// BenchmarkApprox_WedgeSample times the wedge estimator at 10k samples on
+// a mid-scale product.
+func BenchmarkApprox_WedgeSample(b *testing.B) {
+	p := smallUnicodeProduct(b)
+	g, err := p.Materialize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.WedgeSample(g, 10000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- EXP-DIST: distributed-generation simulation ---
+
+// BenchmarkDist_Generate8Ranks times the simulated 8-rank generation with
+// inline ground truth.
+func BenchmarkDist_Generate8Ranks(b *testing.B) {
+	a := gen.ConnectedBipartiteScaleFree(48, 96, 240, 4)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dist.Generate(p, 8)
+		if err != nil || res.GlobalFour != p.GlobalFourCycles() {
+			b.Fatal("distributed reduction wrong")
+		}
+	}
+}
+
+// --- Ablations: the kernels behind the pipeline ---
+
+// BenchmarkAblation_KronSerial and ..._KronParallel quantify the parallel
+// Kronecker materialization kernel.
+func BenchmarkAblation_KronSerial(b *testing.B)   { benchKron(b, 1) }
+func BenchmarkAblation_KronParallel(b *testing.B) { benchKron(b, 0) }
+
+func benchKron(b *testing.B, workers int) {
+	a := gen.UnicodeLike(2020)
+	m := a.WithFullSelfLoops().Adjacency()
+	bm := a.Adjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grb.KronParallel(m, bm, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_WedgeCountSerial vs ..._Parallel: the validation-side
+// butterfly counter.
+func BenchmarkAblation_WedgeCountSerial(b *testing.B)   { benchWedge(b, 1) }
+func BenchmarkAblation_WedgeCountParallel(b *testing.B) { benchWedge(b, 0) }
+
+func benchWedge(b *testing.B, workers int) {
+	p := smallUnicodeProduct(b)
+	g, err := p.Materialize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.VertexButterfliesParallel(g, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_MxMSerial vs ..._Parallel: the SpGEMM behind factor
+// statistics.
+func BenchmarkAblation_MxMSerial(b *testing.B)   { benchMxM(b, 1) }
+func BenchmarkAblation_MxMParallel(b *testing.B) { benchMxM(b, 0) }
+
+func benchMxM(b *testing.B, workers int) {
+	a := gen.UnicodeLike(2020).Adjacency()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := grb.MxMParallel(a, a, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_GlobalFormulaVsEdgeSum compares the O(n_A+n_B) global
+// count against the O(|E_C|) edge-sum route (both exact).
+func BenchmarkAblation_GlobalFormula(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.GlobalFourCycles()
+	}
+}
+
+func BenchmarkAblation_GlobalViaEdgeSum(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.GlobalFourCyclesViaEdges()
+	}
+}
+
+// BenchmarkAblation_FactorStats isolates the one-time factor preprocessing
+// (degrees, two-walks, per-vertex and per-edge 4-cycles).
+func BenchmarkAblation_FactorStats(b *testing.B) {
+	a := gen.UnicodeLike(2020)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewFactor(a.Graph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_WingPeeling times butterfly peeling on a dense-ish
+// bipartite graph.
+func BenchmarkAblation_WingPeeling(b *testing.B) {
+	g := gen.Crown(12).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wing.Decomposition(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_BFSCounter times the paper's O(|V||E|) reference
+// algorithm for comparison with the wedge counter.
+func BenchmarkAblation_BFSCounter(b *testing.B) {
+	p := smallUnicodeProduct(b)
+	g, err := p.Materialize(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := count.GlobalButterfliesBFS(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

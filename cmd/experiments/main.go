@@ -1,0 +1,274 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation.  Each experiment prints a formatted table to stdout; Fig. 5
+// additionally writes its scatter data as TSV under -out.
+//
+// Usage:
+//
+//	experiments -run all                # everything (default)
+//	experiments -run tab1 -samples 500  # Table I with 500-sample validation
+//	experiments -run fig5 -out results  # Fig. 5 + results/fig5.tsv
+//	experiments -run tab1,fig1,thm6     # comma-separated subset
+//
+// Experiment ids: tab1, fig1, fig5, thm345, thm6, thm7, rem1, scale,
+// baselines (see DESIGN.md §4 for the per-experiment index).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kronbip/internal/experiments"
+	"kronbip/internal/graph"
+	"kronbip/internal/mmio"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		seed    = flag.Int64("seed", 2020, "deterministic seed for synthetic factors")
+		samples = flag.Int("samples", 200, "sampled vertices/edges for Table I brute-force validation (0 skips materialization)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		outDir  = flag.String("out", "results", "directory for TSV figure data")
+		steps   = flag.Int("scale-steps", 4, "size steps for the scaling experiment")
+		unicode = flag.String("unicode", "", "path to the real Konect unicode out.* file; when set, tab1/fig5 use it instead of the synthetic stand-in")
+		mdOut   = flag.String("md", "", "run everything and write the EXPERIMENTS.md report to this path (overrides -run)")
+	)
+	flag.Parse()
+
+	if *mdOut != "" {
+		report, err := experiments.RunAll(*seed, *samples, *steps, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*mdOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		if err := report.WriteMarkdown(f); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s (all experiments valid: %v, %v)\n", *mdOut, report.Valid(), report.Elapsed.Round(10_000_000))
+		if !report.Valid() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var realFactor *graph.Bipartite
+	if *unicode != "" {
+		f, err := os.Open(*unicode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: -unicode: %v\n", err)
+			os.Exit(1)
+		}
+		realFactor, err = mmio.ReadKonectBipartite(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: -unicode: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded Konect factor from %s: |U|=%d |W|=%d |E|=%d\n\n", *unicode, realFactor.NU(), realFactor.NW(), realFactor.NumEdges())
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	all := want["all"]
+	failed := false
+	ran := 0
+
+	section := func(id string) bool {
+		if all || want[id] {
+			ran++
+			fmt.Printf("=== %s ===\n", id)
+			return true
+		}
+		return false
+	}
+	report := func(err error) bool {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			failed = true
+			return false
+		}
+		return true
+	}
+
+	if section("tab1") {
+		var res *experiments.TableIResult
+		var err error
+		if realFactor != nil {
+			res, err = experiments.RunTableIWithFactor(realFactor, "A (Konect unicode)", *seed, *samples, *workers)
+		} else {
+			res, err = experiments.RunTableI(*seed, *samples, *workers)
+		}
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "tab1: VALIDATION FAILED")
+				failed = true
+			}
+		}
+	}
+	if section("fig1") {
+		res, err := experiments.RunFig1()
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "fig1: outcomes disagree with the paper's claims")
+				failed = true
+			}
+		}
+	}
+	if section("fig5") {
+		var res *experiments.Fig5Result
+		var err error
+		if realFactor != nil {
+			res, err = experiments.RunFig5WithFactor(realFactor)
+		} else {
+			res, err = experiments.RunFig5(*seed)
+		}
+		if report(err) {
+			fmt.Println(res)
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				report(err)
+			} else {
+				path := filepath.Join(*outDir, "fig5.tsv")
+				f, err := os.Create(path)
+				if report(err) {
+					if report(res.WriteTSV(f)) {
+						fmt.Printf("wrote %s (%d factor + %d product points)\n\n", path, len(res.FactorPoints), len(res.ProductPoints))
+					}
+					f.Close()
+				}
+			}
+		}
+	}
+	if section("thm345") {
+		res, err := experiments.RunFormulaValidation()
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "thm345: formula mismatch")
+				failed = true
+			}
+		}
+	}
+	if section("thm6") {
+		res, err := experiments.RunClusteringLaw(*seed)
+		if report(err) {
+			fmt.Println(res)
+			if !res.BoundOK {
+				fmt.Fprintln(os.Stderr, "thm6: bound violated")
+				failed = true
+			}
+		}
+	}
+	if section("thm7") {
+		res, err := experiments.RunCommunity(*seed)
+		if report(err) {
+			fmt.Println(res)
+			if !res.FormulasExact || !res.BoundsHold {
+				fmt.Fprintln(os.Stderr, "thm7: formulas or bounds failed")
+				failed = true
+			}
+		}
+	}
+	if section("rem1") {
+		res, err := experiments.RunRemark1()
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "rem1: demonstration failed")
+				failed = true
+			}
+		}
+	}
+	if section("scale") {
+		res, err := experiments.RunScaling(*steps, *seed, *workers)
+		if report(err) {
+			fmt.Println(res)
+		}
+	}
+	if section("baselines") {
+		res, err := experiments.RunBaselines(*seed)
+		if report(err) {
+			fmt.Println(res)
+		}
+	}
+	if section("ecc") {
+		res, err := experiments.RunDistances()
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "ecc: distance ground truth mismatch")
+				failed = true
+			}
+		}
+	}
+	if section("deg") {
+		res, err := experiments.RunDegrees(*seed)
+		if report(err) {
+			fmt.Println(res)
+			if !res.HistogramMatches {
+				fmt.Fprintln(os.Stderr, "deg: degree histogram mismatch")
+				failed = true
+			}
+			if err := os.MkdirAll(*outDir, 0o755); err == nil {
+				path := filepath.Join(*outDir, "degree_ccdf.tsv")
+				if f, err := os.Create(path); err == nil {
+					if report(res.WriteCCDFTSV(f)) {
+						fmt.Printf("wrote %s\n\n", path)
+					}
+					f.Close()
+				}
+			}
+		}
+	}
+	if section("eig") {
+		res, err := experiments.RunSpectral()
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "eig: spectral ground truth mismatch")
+				failed = true
+			}
+		}
+	}
+	if section("dist") {
+		res, err := experiments.RunDistributed(*seed)
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "dist: distributed reduction mismatch")
+				failed = true
+			}
+		}
+	}
+	if section("approx") {
+		res, err := experiments.RunApprox(*seed)
+		if report(err) {
+			fmt.Println(res)
+			if !res.Valid() {
+				fmt.Fprintln(os.Stderr, "approx: estimator grading failed")
+				failed = true
+			}
+		}
+	}
+
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment id(s) %q; known: tab1 fig1 fig5 thm345 thm6 thm7 rem1 scale baselines ecc deg eig dist approx all\n", *run)
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

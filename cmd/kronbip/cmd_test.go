@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdStats(t *testing.T) {
+	if err := cmdStats([]string{"-factor", "crown4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-factor", "biclique3x3", "-mode", "nonbip", "-spectral", "-diameter"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-factor", "nope"}); err == nil {
+		t.Fatal("accepted bad factor")
+	}
+	// Diameter on a disconnected (relaxed) product errors cleanly.
+	if err := cmdStats([]string{"-factor", "unicode", "-diameter"}); err == nil {
+		t.Fatal("diameter on relaxed product should error")
+	}
+}
+
+func TestCmdTruth(t *testing.T) {
+	if err := cmdTruth([]string{"-factor", "crown4", "-vertex", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTruth([]string{"-factor", "crown4", "-edge", "1,63", "-hops", "1,63"}); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-factor", "crown4"},                     // nothing to query
+		{"-factor", "crown4", "-vertex", "9999"},  // out of range
+		{"-factor", "crown4", "-edge", "0,0"},     // non-edge
+		{"-factor", "crown4", "-edge", "zap"},     // malformed
+		{"-factor", "crown4", "-edge", "x,y"},     // malformed ids
+		{"-factor", "crown4", "-hops", "1"},       // malformed
+		{"-factor", "crown4", "-hops", "1,99999"}, // out of range
+	}
+	for _, args := range cases {
+		if err := cmdTruth(args); err == nil {
+			t.Fatalf("cmdTruth accepted %v", args)
+		}
+	}
+}
+
+func TestCmdVerify(t *testing.T) {
+	if err := cmdVerify([]string{"-factor", "biclique3x4", "-samples", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-factor", "crown3", "-samples", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdVerify([]string{"-factor", "bogus"}); err == nil {
+		t.Fatal("accepted bad factor")
+	}
+}
+
+func TestCmdGenerate(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "edges.tsv")
+	if err := cmdGenerate([]string{"-factor", "crown3", "-edges-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	// crown3 = C6: (2·6+6)·6 = 108 edges in mode (ii).
+	if lines != 108 {
+		t.Fatalf("wrote %d edges, want 108", lines)
+	}
+	// Sharded output.
+	prefix := filepath.Join(dir, "sharded")
+	if err := cmdGenerate([]string{"-factor", "crown3", "-edges-out", prefix, "-shards", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for s := 0; s < 4; s++ {
+		d, err := os.ReadFile(prefix + ".shard" + string(rune('0'+s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += strings.Count(string(d), "\n")
+	}
+	if total != 108 {
+		t.Fatalf("shards hold %d edges, want 108", total)
+	}
+	// Shards without a file prefix are rejected.
+	if err := cmdGenerate([]string{"-factor", "crown3", "-shards", "2"}); err == nil {
+		t.Fatal("accepted -shards with stdout")
+	}
+	if err := cmdGenerate([]string{"-factor", "bogus"}); err == nil {
+		t.Fatal("accepted bad factor")
+	}
+}

@@ -1,0 +1,49 @@
+// Distributed generation: a simulation of the paper's §V future work —
+// generating a bipartite Kronecker graph across ranks while computing the
+// exact ground truth *during* generation.  Each rank owns a slice of the
+// product's vertex space, generates its local edges, evaluates its
+// vertices' and edges' 4-cycle ground truth from factor statistics alone,
+// and ships only an O(1) summary to the coordinator, which reduces to the
+// exact global counts — twice, via two independent identities.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kronbip/internal/core"
+	"kronbip/internal/dist"
+	"kronbip/internal/gen"
+)
+
+func main() {
+	a := gen.ConnectedBipartiteScaleFree(64, 128, 320, 7)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("product: %v\n\n", p)
+
+	for _, ranks := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		res, err := dist.Generate(p, ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("ranks=%d  wall=%v  edges=%d  □(vertex route)=%d  □(edge route)=%d  agree=%v\n",
+			ranks, elapsed, res.TotalEdges, res.GlobalFour, res.GlobalFourE,
+			res.GlobalFour == res.GlobalFourE)
+	}
+
+	fmt.Printf("\ncoordinator reference (closed form, no generation): □ = %d\n", p.GlobalFourCycles())
+	res, _ := dist.Generate(p, 4)
+	fmt.Println("\nper-rank tallies (ranks own contiguous vertex blocks):")
+	fmt.Printf("%5s %12s %10s %14s %14s\n", "rank", "vertices", "edges", "Σ s_v", "max s_v")
+	for _, s := range res.Shards {
+		fmt.Printf("%5d [%5d,%5d) %10d %14d %14d\n", s.Rank, s.VertexLo, s.VertexHi, s.Edges, s.SumVertex, s.MaxVertex)
+	}
+}

@@ -1,0 +1,3 @@
+module kronbip
+
+go 1.22

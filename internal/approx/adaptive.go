@@ -1,0 +1,72 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kronbip/internal/count"
+	"kronbip/internal/graph"
+)
+
+// AdaptiveResult is the output of the adaptive estimator: the estimate, a
+// normal-approximation confidence half-width (relative), and the number of
+// samples it took to reach the target.
+type AdaptiveResult struct {
+	Estimate  float64
+	RelCI     float64 // half-width of the ~95% CI divided by the estimate
+	Samples   int
+	Converged bool
+}
+
+// AdaptiveVertexSample draws per-vertex samples in batches until the
+// estimated relative 95% confidence half-width drops below targetRelCI or
+// maxSamples is exhausted.  A practical wrapper over VertexSample for the
+// "how many samples do I need?" question the ground-truth grading answers
+// post hoc.
+func AdaptiveVertexSample(g *graph.Graph, targetRelCI float64, maxSamples int, seed int64) (AdaptiveResult, error) {
+	if targetRelCI <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("approx: targetRelCI must be positive")
+	}
+	if maxSamples <= 0 {
+		return AdaptiveResult{}, fmt.Errorf("approx: maxSamples must be positive")
+	}
+	if g.N() == 0 {
+		return AdaptiveResult{}, fmt.Errorf("approx: empty graph")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const batch = 64
+	var n float64
+	var mean, m2 float64 // Welford running mean/variance of s_v
+	samples := 0
+	for samples < maxSamples {
+		for i := 0; i < batch && samples < maxSamples; i++ {
+			v := rng.Intn(g.N())
+			x := float64(count.VertexButterfliesAt(g, v))
+			n++
+			delta := x - mean
+			mean += delta / n
+			m2 += delta * (x - mean)
+			samples++
+		}
+		if n >= 2*batch && mean > 0 {
+			sd := math.Sqrt(m2 / (n - 1))
+			half := 1.96 * sd / math.Sqrt(n)
+			rel := half / mean
+			if rel <= targetRelCI {
+				return AdaptiveResult{
+					Estimate:  mean * float64(g.N()) / 4,
+					RelCI:     rel,
+					Samples:   samples,
+					Converged: true,
+				}, nil
+			}
+		}
+	}
+	res := AdaptiveResult{Estimate: mean * float64(g.N()) / 4, Samples: samples}
+	if mean > 0 && n > 1 {
+		sd := math.Sqrt(m2 / (n - 1))
+		res.RelCI = 1.96 * sd / math.Sqrt(n) / mean
+	}
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package approx
+
+import (
+	"testing"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+func TestAdaptiveVertexSampleConverges(t *testing.T) {
+	g := gen.Crown(8).Graph // vertex-transitive: variance 0, converges fast
+	truth, _ := count.GlobalButterflies(g)
+	res, err := AdaptiveVertexSample(g, 0.05, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge: %+v", res)
+	}
+	if res.Estimate != float64(truth) {
+		t.Fatalf("transitive graph estimate %g, truth %d", res.Estimate, truth)
+	}
+	// Zero variance → CI collapses immediately after the warmup batches.
+	if res.Samples > 200 {
+		t.Fatalf("took %d samples on a zero-variance graph", res.Samples)
+	}
+}
+
+func TestAdaptiveVertexSampleHeavyTail(t *testing.T) {
+	g := gen.BipartiteScaleFree(60, 90, 400, 7).Graph
+	truth, _ := count.GlobalButterflies(g)
+	res, err := AdaptiveVertexSample(g, 0.10, 200000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge within budget: %+v", res)
+	}
+	est := Estimate{Value: res.Estimate}
+	// The claimed CI is approximate; allow 3x slack on the realized error.
+	if relErr := est.RelativeError(truth); relErr > 3*res.RelCI+0.05 {
+		t.Fatalf("realized error %.3f far outside claimed CI %.3f", relErr, res.RelCI)
+	}
+}
+
+func TestAdaptiveVertexSampleBudgetExhaustion(t *testing.T) {
+	g := gen.BipartiteScaleFree(60, 90, 400, 7).Graph
+	res, err := AdaptiveVertexSample(g, 1e-9, 500, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("claimed convergence at an impossible precision target")
+	}
+	if res.Samples != 500 {
+		t.Fatalf("samples = %d, want the full 500 budget", res.Samples)
+	}
+}
+
+func TestAdaptiveVertexSampleValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := AdaptiveVertexSample(g, 0, 100, 1); err == nil {
+		t.Fatal("accepted zero CI target")
+	}
+	if _, err := AdaptiveVertexSample(g, 0.1, 0, 1); err == nil {
+		t.Fatal("accepted zero budget")
+	}
+	empty, _ := graph.New(0, nil)
+	if _, err := AdaptiveVertexSample(empty, 0.1, 10, 1); err == nil {
+		t.Fatal("accepted empty graph")
+	}
+}

@@ -1,0 +1,143 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+// estimators enumerated for table-driven tests.
+var estimators = []struct {
+	name string
+	fn   func(*graph.Graph, int, int64) (Estimate, error)
+}{
+	{"vertex", VertexSample},
+	{"edge", EdgeSample},
+	{"wedge", WedgeSample},
+}
+
+func TestEstimatorsExactOnSymmetricGraphs(t *testing.T) {
+	// On vertex- and edge-transitive graphs every sample is identical, so
+	// one sample already gives the exact answer.
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		truth int64
+	}{
+		{"K33", gen.CompleteBipartite(3, 3).Graph, 9},
+		{"C4", gen.Cycle(4), 1},
+		{"Q3", gen.Hypercube(3), 6},
+	}
+	for _, tc := range cases {
+		for _, est := range estimators {
+			got, err := est.fn(tc.g, 8, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.name, est.name, err)
+			}
+			if math.Abs(got.Value-float64(tc.truth)) > 1e-9 {
+				t.Fatalf("%s/%s: estimate %g, truth %d", tc.name, est.name, got.Value, tc.truth)
+			}
+		}
+	}
+}
+
+func TestEstimatorsConvergeOnHeavyTail(t *testing.T) {
+	g := gen.BipartiteScaleFree(60, 90, 400, 7).Graph
+	truth, err := count.GlobalButterflies(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth == 0 {
+		t.Fatal("test graph has no butterflies")
+	}
+	for _, est := range estimators {
+		// Large sample should land within 25% on this small graph.
+		got, err := est.fn(g, 20000, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", est.name, err)
+		}
+		if relErr := got.RelativeError(truth); relErr > 0.25 {
+			t.Fatalf("%s: relative error %.3f at 20k samples (est %.0f, truth %d)", est.name, relErr, got.Value, truth)
+		}
+	}
+}
+
+func TestEstimatorErrorShrinksWithSamples(t *testing.T) {
+	g := gen.BipartiteScaleFree(60, 90, 400, 7).Graph
+	truth, _ := count.GlobalButterflies(g)
+	for _, est := range estimators {
+		// Average the error over several seeds at two sample sizes.
+		avgErr := func(samples int) float64 {
+			var s float64
+			for seed := int64(0); seed < 8; seed++ {
+				e, err := est.fn(g, samples, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s += e.RelativeError(truth)
+			}
+			return s / 8
+		}
+		small, large := avgErr(50), avgErr(5000)
+		if large > small+0.02 {
+			t.Fatalf("%s: error grew with samples: %.3f → %.3f", est.name, small, large)
+		}
+	}
+}
+
+func TestEstimatorErrors(t *testing.T) {
+	g := gen.Path(4)
+	for _, est := range estimators {
+		if _, err := est.fn(g, 0, 1); err == nil {
+			t.Fatalf("%s accepted zero samples", est.name)
+		}
+	}
+	empty, _ := graph.New(0, nil)
+	if _, err := VertexSample(empty, 5, 1); err == nil {
+		t.Fatal("VertexSample accepted empty graph")
+	}
+	noEdges, _ := graph.New(3, nil)
+	if _, err := EdgeSample(noEdges, 5, 1); err == nil {
+		t.Fatal("EdgeSample accepted edgeless graph")
+	}
+	if _, err := WedgeSample(gen.Path(2), 5, 1); err == nil {
+		t.Fatal("WedgeSample accepted wedgeless graph")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	e := Estimate{Value: 110}
+	if math.Abs(e.RelativeError(100)-0.1) > 1e-12 {
+		t.Fatal("RelativeError wrong")
+	}
+	e = Estimate{Value: 90}
+	if math.Abs(e.RelativeError(100)-0.1) > 1e-12 {
+		t.Fatal("RelativeError not absolute")
+	}
+	if (Estimate{Value: 5}).RelativeError(0) != 0 {
+		t.Fatal("zero-truth convention violated")
+	}
+}
+
+func TestWedgeSampleUnbiasedOnAsymmetric(t *testing.T) {
+	// Mean over many seeds must approach the truth (unbiasedness), even on
+	// a graph where per-wedge values vary wildly.
+	g := gen.Crown(5).Graph
+	truth, _ := count.GlobalButterflies(g)
+	var mean float64
+	const runs = 60
+	for seed := int64(0); seed < runs; seed++ {
+		e, err := WedgeSample(g, 500, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean += e.Value
+	}
+	mean /= runs
+	if math.Abs(mean-float64(truth))/float64(truth) > 0.05 {
+		t.Fatalf("wedge estimator biased: mean %.1f, truth %d", mean, truth)
+	}
+}

@@ -1,0 +1,170 @@
+package biclique
+
+import (
+	"math/rand"
+	"testing"
+
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+func TestEnumerateBicliqueItself(t *testing.T) {
+	b := gen.CompleteBipartite(3, 4)
+	all, err := Enumerate(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("K_{3,4} has %d maximal bicliques, want 1: %v", len(all), all)
+	}
+	if all[0].Edges() != 12 {
+		t.Fatalf("maximal biclique has %d edges, want 12", all[0].Edges())
+	}
+	if !Verify(b, all[0]) {
+		t.Fatal("reported biclique fails verification")
+	}
+}
+
+func TestEnumerateCrown(t *testing.T) {
+	// Crown(3) ≅ C6: maximal bicliques are the paths P3 (one vertex on one
+	// side, its two neighbors) and the single edges are not maximal.
+	b := gen.Crown(3)
+	all, err := Enumerate(b, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bi := range all {
+		if !Verify(b, bi) {
+			t.Fatalf("invalid biclique %v", bi)
+		}
+		if bi.Edges() != 2 {
+			t.Fatalf("C6 maximal biclique with %d edges, want 2 (a path)", bi.Edges())
+		}
+	}
+	// C6 has 6 maximal P3s: one centered at each vertex.
+	if len(all) != 6 {
+		t.Fatalf("C6 has %d maximal bicliques, want 6", len(all))
+	}
+}
+
+func TestMaximumPlantedRecovery(t *testing.T) {
+	// Plant a K_{4,5} inside a sparse random bipartite background; the
+	// maximum biclique must recover it exactly.
+	rng := rand.New(rand.NewSource(8))
+	nu, nw := 20, 22
+	var pairs [][2]int
+	for u := 0; u < 4; u++ {
+		for w := 0; w < 5; w++ {
+			pairs = append(pairs, [2]int{u, w})
+		}
+	}
+	for u := 0; u < nu; u++ {
+		for w := 0; w < nw; w++ {
+			if (u >= 4 || w >= 5) && rng.Float64() < 0.08 {
+				pairs = append(pairs, [2]int{u, w})
+			}
+		}
+	}
+	b, err := graph.NewBipartite(nu, nw, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Maximum(b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Edges() < 20 {
+		t.Fatalf("maximum biclique has %d edges; planted K_{4,5} (20) not found", best.Edges())
+	}
+	if !Verify(b, best) {
+		t.Fatal("maximum biclique fails verification")
+	}
+	// The planted block must be inside the best U side (its vertices all
+	// see W{0..4}).
+	inBest := map[int]bool{}
+	for _, u := range best.U {
+		inBest[u] = true
+	}
+	for u := 0; u < 4; u++ {
+		if !inBest[u] {
+			t.Fatalf("planted U vertex %d missing from maximum biclique %v", u, best)
+		}
+	}
+}
+
+func TestEnumerateMinimaAndEmpty(t *testing.T) {
+	b := gen.CompleteBipartite(2, 3)
+	all, err := Enumerate(b, Options{MinU: 3, MinW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Fatal("MinU filter ignored")
+	}
+	if _, err := Maximum(b, 3, 3); err == nil {
+		t.Fatal("Maximum found an impossible biclique")
+	}
+	// Star: the single maximal biclique is the whole star.
+	star, _ := graph.NewBipartite(1, 4, [][2]int{{0, 0}, {0, 1}, {0, 2}, {0, 3}})
+	all, err = Enumerate(star, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].Edges() != 4 {
+		t.Fatalf("star bicliques = %v", all)
+	}
+}
+
+func TestEnumerateBudget(t *testing.T) {
+	// A graph engineered to have many closed sets trips the budget.
+	rng := rand.New(rand.NewSource(3))
+	var pairs [][2]int
+	for u := 0; u < 14; u++ {
+		for w := 0; w < 14; w++ {
+			if rng.Float64() < 0.5 {
+				pairs = append(pairs, [2]int{u, w})
+			}
+		}
+	}
+	b, _ := graph.NewBipartite(14, 14, pairs)
+	if _, err := Enumerate(b, Options{MaxResults: 5}); err == nil {
+		t.Fatal("budget not enforced")
+	}
+}
+
+// TestAllMaximalAreClosed property-checks the Galois condition on random
+// graphs: for every reported biclique, U is exactly the common
+// neighborhood of W and vice versa (so nothing can be added to either side).
+func TestAllMaximalAreClosed(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		nu, nw := 4+rng.Intn(4), 4+rng.Intn(4)
+		var pairs [][2]int
+		for u := 0; u < nu; u++ {
+			for w := 0; w < nw; w++ {
+				if rng.Float64() < 0.45 {
+					pairs = append(pairs, [2]int{u, w})
+				}
+			}
+		}
+		b, err := graph.NewBipartite(nu, nw, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := Enumerate(b, Options{MaxResults: 100000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bi := range all {
+			if !Verify(b, bi) {
+				t.Fatalf("trial %d: invalid biclique %v", trial, bi)
+			}
+			if !equalInts(commonNeighbors(b, bi.U), bi.W) {
+				t.Fatalf("trial %d: W side not closed for %v", trial, bi)
+			}
+			if !equalInts(commonNeighbors(b, bi.W), bi.U) {
+				t.Fatalf("trial %d: U side not closed for %v", trial, bi)
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package bter
+
+import (
+	"testing"
+
+	"kronbip/internal/cluster"
+)
+
+func TestValidate(t *testing.T) {
+	good := Params{DegreesU: []int{2, 2}, DegreesW: []int{2, 2}, BlockFraction: 0.7, BlockDensity: 0.8}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Params{
+		{DegreesU: nil, DegreesW: []int{1}},
+		{DegreesU: []int{1}, DegreesW: nil},
+		{DegreesU: []int{-1}, DegreesW: []int{1}},
+		{DegreesU: []int{1}, DegreesW: []int{1}, BlockFraction: 1.5},
+		{DegreesU: []int{1}, DegreesW: []int{1}, BlockDensity: -0.1},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestHeavyTailDegrees(t *testing.T) {
+	d := HeavyTailDegrees(500, 60, 3, 9)
+	if len(d) != 500 {
+		t.Fatal("wrong length")
+	}
+	max, sum := 0, 0
+	for _, v := range d {
+		if v < 1 || v > 60 {
+			t.Fatalf("degree %d out of [1,60]", v)
+		}
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := float64(sum) / 500
+	if float64(max) < 3*mean {
+		t.Fatalf("max %d vs mean %.1f: not heavy tailed", max, mean)
+	}
+}
+
+func TestGenerateShapeAndDeterminism(t *testing.T) {
+	p := Params{
+		DegreesU:      HeavyTailDegrees(80, 20, 2, 1),
+		DegreesW:      HeavyTailDegrees(120, 15, 2, 2),
+		BlockFraction: 0.6,
+		BlockDensity:  0.8,
+		Seed:          5,
+	}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NU() != 80 || a.NW() != 120 {
+		t.Fatalf("parts %d/%d", a.NU(), a.NW())
+	}
+	if !a.IsBipartite() {
+		t.Fatal("BTER output not bipartite")
+	}
+	if a.NumEdges() == 0 {
+		t.Fatal("BTER produced no edges")
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestDegreesApproximatelyRealized(t *testing.T) {
+	deg := make([]int, 60)
+	for i := range deg {
+		deg[i] = 4
+	}
+	p := Params{DegreesU: deg, DegreesW: deg, BlockFraction: 0.5, BlockDensity: 0.9, Seed: 13}
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never exceed targets; realize a substantial fraction overall.
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(v)
+		if d > 4 {
+			t.Fatalf("vertex %d degree %d exceeds target 4", v, d)
+		}
+		total += d
+	}
+	want := 2 * 60 * 4
+	if total < want/2 {
+		t.Fatalf("realized degree mass %d below half the target %d", total, want)
+	}
+}
+
+// TestBlocksCreateButterflies: the phase-1 blocks must produce local
+// 4-cycle structure (nonzero clustering), unlike pure Chung-Lu wiring.
+func TestBlocksCreateButterflies(t *testing.T) {
+	deg := make([]int, 40)
+	for i := range deg {
+		deg[i] = 6
+	}
+	blocky := Params{DegreesU: deg, DegreesW: deg, BlockFraction: 0.9, BlockDensity: 0.95, Seed: 21}
+	g, err := Generate(blocky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := cluster.GlobalRobinsAlexander(g.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra <= 0.05 {
+		t.Fatalf("block phase produced no clustering: RA = %g", ra)
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"kronbip/internal/gen"
+)
+
+func TestVertexCoefficientZhangKnown(t *testing.T) {
+	// Bicliques saturate at 1.
+	for _, ab := range [][2]int{{2, 2}, {3, 3}, {2, 4}} {
+		g := gen.CompleteBipartite(ab[0], ab[1]).Graph
+		for v := 0; v < g.N(); v++ {
+			got, err := VertexCoefficientZhang(g, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-1) > 1e-12 {
+				t.Fatalf("K_{%d,%d} vertex %d: Zhang = %g, want 1", ab[0], ab[1], v, got)
+			}
+		}
+	}
+	// Trees and long cycles: 0.
+	for v := 0; v < 6; v++ {
+		got, _ := VertexCoefficientZhang(gen.Cycle(6), v)
+		if got != 0 {
+			t.Fatalf("C6 Zhang = %g, want 0", got)
+		}
+	}
+	// Degree-1 vertices report 0.
+	got, _ := VertexCoefficientZhang(gen.Star(5), 1)
+	if got != 0 {
+		t.Fatal("leaf Zhang should be 0")
+	}
+	if _, err := VertexCoefficientZhang(gen.Star(5), 99); err == nil {
+		t.Fatal("accepted out-of-range vertex")
+	}
+}
+
+func TestVertexCoefficientZhangInUnitInterval(t *testing.T) {
+	g := gen.BipartiteScaleFree(30, 50, 160, 3).Graph
+	all, err := AllVertexCoefficientsZhang(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != g.N() {
+		t.Fatal("wrong length")
+	}
+	for v, c := range all {
+		if c < 0 || c > 1+1e-12 {
+			t.Fatalf("vertex %d: Zhang = %g outside [0,1]", v, c)
+		}
+		point, err := VertexCoefficientZhang(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(point-c) > 1e-12 {
+			t.Fatalf("vertex %d: pointwise %g != batch %g", v, point, c)
+		}
+	}
+}
+
+func TestVertexCoefficientOpsahlKnown(t *testing.T) {
+	// Bicliques: every wedge closes.
+	g := gen.CompleteBipartite(3, 4).Graph
+	for v := 0; v < g.N(); v++ {
+		got, err := VertexCoefficientOpsahl(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1) > 1e-12 {
+			t.Fatalf("biclique Opsahl(%d) = %g, want 1", v, got)
+		}
+	}
+	// C6: no wedge closes.
+	for v := 0; v < 6; v++ {
+		got, _ := VertexCoefficientOpsahl(gen.Cycle(6), v)
+		if got != 0 {
+			t.Fatalf("C6 Opsahl = %g, want 0", got)
+		}
+	}
+	// Leaves: 0 (no wedges).
+	got, _ := VertexCoefficientOpsahl(gen.Star(4), 1)
+	if got != 0 {
+		t.Fatal("leaf Opsahl should be 0")
+	}
+	if _, err := VertexCoefficientOpsahl(g, -1); err == nil {
+		t.Fatal("accepted negative vertex")
+	}
+}
+
+func TestVertexCoefficientsOrdering(t *testing.T) {
+	// On a crown (biclique minus matching) both coefficients are strictly
+	// between 0 and 1 — wedges exist, and not all of them close.
+	g := gen.Crown(4).Graph
+	for v := 0; v < g.N(); v++ {
+		z, _ := VertexCoefficientZhang(g, v)
+		o, _ := VertexCoefficientOpsahl(g, v)
+		if z <= 0 || z >= 1 {
+			t.Fatalf("crown Zhang(%d) = %g, want in (0,1)", v, z)
+		}
+		if o <= 0 || o > 1 {
+			t.Fatalf("crown Opsahl(%d) = %g, want in (0,1]", v, o)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// EdgeClusteringAt returns the bipartite edge clustering coefficient of
+// product edge {v,w} (Def. 10):
+//
+//	Γ_C(p,q) = ◊_pq / ((d_p − 1)(d_q − 1)),
+//
+// the fraction of the (d_p−1)(d_q−1) potential 4-cycles through the edge
+// that exist.  Degree-1 endpoints admit no 4-cycles; Γ is defined as 0
+// there.
+func (p *Product) EdgeClusteringAt(v, w int) (float64, error) {
+	sq, err := p.EdgeFourCyclesAt(v, w)
+	if err != nil {
+		return 0, err
+	}
+	dp, dq := p.DegreeAt(v), p.DegreeAt(w)
+	if dp <= 1 || dq <= 1 {
+		return 0, nil
+	}
+	return float64(sq) / float64((dp-1)*(dq-1)), nil
+}
+
+// ClusteringLawBound returns the Thm. 6 lower bound
+//
+//	ψ(i,j,k,l) · Γ_A(i,j) · Γ_B(k,l)
+//
+// for a mode-(i) product edge {v,w}, together with ψ itself.  Thm. 6
+// requires all four factor degrees ≥ 2; the bound is reported as 0 (trivial)
+// otherwise.  For mode-(ii) products the theorem does not apply and an
+// error is returned.
+func (p *Product) ClusteringLawBound(v, w int) (bound, psi float64, err error) {
+	if p.mode != ModeNonBipartiteFactor {
+		return 0, 0, fmt.Errorf("core: Thm. 6 is stated for C = A ⊗ B (mode (i)) only")
+	}
+	if !p.HasEdge(v, w) {
+		return 0, 0, fmt.Errorf("core: {%d,%d} is not an edge of the product", v, w)
+	}
+	i, k := p.PairOf(v)
+	j, l := p.PairOf(w)
+	di, dj := p.a.D[i], p.a.D[j]
+	dk, dl := p.b.D[k], p.b.D[l]
+	if di < 2 || dj < 2 || dk < 2 || dl < 2 {
+		return 0, 0, nil
+	}
+	gammaA := float64(p.a.Sq.At(i, j)) / float64((di-1)*(dj-1))
+	gammaB := float64(p.b.Sq.At(k, l)) / float64((dk-1)*(dl-1))
+	psi = float64((di-1)*(dk-1)) * float64((dj-1)*(dl-1)) /
+		(float64(di*dk-1) * float64(dj*dl-1))
+	return psi * gammaA * gammaB, psi, nil
+}

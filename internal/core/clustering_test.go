@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+)
+
+func TestEdgeClusteringMatchesDirect(t *testing.T) {
+	for _, mode := range []Mode{ModeNonBipartiteFactor, ModeSelfLoopFactor} {
+		var p *Product
+		var err error
+		if mode == ModeNonBipartiteFactor {
+			p, err = New(gen.Complete(4), gen.CompleteBipartite(2, 3).Graph, mode)
+		} else {
+			p, err = New(gen.Cycle(4), gen.CompleteBipartite(2, 3).Graph, mode)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, _ := p.Materialize(0)
+		p.EachEdge(func(v, w int) bool {
+			gamma, err := p.EdgeClusteringAt(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq, err := count.EdgeButterfliesAt(g, v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dv, dw := g.Degree(v), g.Degree(w)
+			var want float64
+			if dv > 1 && dw > 1 {
+				want = float64(sq) / float64((dv-1)*(dw-1))
+			}
+			if math.Abs(gamma-want) > 1e-12 {
+				t.Fatalf("mode %v: Γ(%d,%d) = %g, direct %g", mode, v, w, gamma, want)
+			}
+			return true
+		})
+	}
+}
+
+// TestTheorem6ScalingLaw checks Γ_C(p,q) ≥ ψ·Γ_A·Γ_B on every edge of
+// several mode-(i) products, and that ψ ∈ [1/9, 1) whenever all four factor
+// degrees are ≥ 2.
+func TestTheorem6ScalingLaw(t *testing.T) {
+	var cases []struct {
+		name string
+		p    *Product
+	}
+	for _, spec := range mode1Pairs() {
+		p, err := New(spec.a, spec.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cases = append(cases, struct {
+			name string
+			p    *Product
+		}{spec.name, p})
+	}
+	for _, tc := range cases {
+		tc.p.EachEdge(func(v, w int) bool {
+			bound, psi, err := tc.p.ClusteringLawBound(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gamma, err := tc.p.EdgeClusteringAt(v, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gamma < bound-1e-12 {
+				t.Fatalf("%s: Thm 6 violated at (%d,%d): Γ=%g < bound %g", tc.name, v, w, gamma, bound)
+			}
+			if psi != 0 && (psi < 1.0/9-1e-12 || psi >= 1) {
+				t.Fatalf("%s: ψ = %g outside [1/9, 1)", tc.name, psi)
+			}
+			return true
+		})
+	}
+}
+
+func TestClusteringLawBoundErrors(t *testing.T) {
+	p2, _ := New(gen.Path(3), gen.Cycle(4), ModeSelfLoopFactor)
+	if _, _, err := p2.ClusteringLawBound(0, 1); err == nil {
+		t.Fatal("Thm 6 bound accepted mode (ii) product")
+	}
+	p1, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	if _, _, err := p1.ClusteringLawBound(0, 0); err == nil {
+		t.Fatal("Thm 6 bound accepted non-edge")
+	}
+}
+
+func TestEdgeClusteringNonEdge(t *testing.T) {
+	p, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	if _, err := p.EdgeClusteringAt(0, 0); err == nil {
+		t.Fatal("EdgeClusteringAt accepted non-edge")
+	}
+}

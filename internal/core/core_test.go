@@ -1,0 +1,618 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+	"kronbip/internal/grb"
+)
+
+// mode1Pairs are (non-bipartite A, bipartite B) factor pairs for Assump 1(i).
+func mode1Pairs() []struct {
+	name string
+	a, b *graph.Graph
+} {
+	return []struct {
+		name string
+		a, b *graph.Graph
+	}{
+		{"K3 x P2", gen.Complete(3), gen.Path(2)},
+		{"K3 x P4", gen.Complete(3), gen.Path(4)},
+		{"K4 x C4", gen.Complete(4), gen.Cycle(4)},
+		{"C5 x star5", gen.Cycle(5), gen.Star(5)},
+		{"lollipop x K23", gen.Lollipop(3, 2), gen.CompleteBipartite(2, 3).Graph},
+		{"petersen x C6", gen.Petersen(), gen.Cycle(6)},
+		{"C5 x crown3", gen.Cycle(5), gen.Crown(3).Graph},
+		{"K4 x tree", gen.Complete(4), gen.BinaryTree(3)},
+		{"lollipop x Q3", gen.Lollipop(5, 1), gen.Hypercube(3)},
+	}
+}
+
+// mode2Pairs are (bipartite A, bipartite B) factor pairs for Assump 1(ii).
+func mode2Pairs() []struct {
+	name string
+	a, b *graph.Graph
+} {
+	return []struct {
+		name string
+		a, b *graph.Graph
+	}{
+		{"P2 x P3", gen.Path(2), gen.Path(3)},
+		{"P4 x P4", gen.Path(4), gen.Path(4)},
+		{"C4 x C6", gen.Cycle(4), gen.Cycle(6)},
+		{"star4 x K23", gen.Star(4), gen.CompleteBipartite(2, 3).Graph},
+		{"K22 x K33", gen.CompleteBipartite(2, 2).Graph, gen.CompleteBipartite(3, 3).Graph},
+		{"crown3 x P5", gen.Crown(3).Graph, gen.Path(5)},
+		{"tree x star4", gen.BinaryTree(3), gen.Star(4)},
+		{"Q3 x C4", gen.Hypercube(3), gen.Cycle(4)},
+		{"doublestar x grid", gen.DoubleStar(2, 3), gen.Grid(2, 3)},
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	// Mode (i) rejects bipartite A under strict premises.
+	if _, err := New(gen.Path(3), gen.Path(3), ModeNonBipartiteFactor); err == nil {
+		t.Fatal("strict mode (i) accepted bipartite A")
+	}
+	// Mode (ii) rejects non-bipartite A even relaxed.
+	if _, err := NewRelaxed(gen.Complete(3), gen.Path(3), ModeSelfLoopFactor); err == nil {
+		t.Fatal("mode (ii) accepted non-bipartite A")
+	}
+	// Both modes reject non-bipartite B.
+	if _, err := NewRelaxed(gen.Complete(3), gen.Cycle(5), ModeNonBipartiteFactor); err == nil {
+		t.Fatal("accepted non-bipartite B")
+	}
+	// Disconnected factor rejected strictly, accepted relaxed.
+	disc := gen.DisjointUnion(gen.Path(2), gen.Path(2))
+	if _, err := New(gen.Complete(3), disc, ModeNonBipartiteFactor); err == nil {
+		t.Fatal("strict mode accepted disconnected B")
+	}
+	if _, err := NewRelaxed(gen.Complete(3), disc, ModeNonBipartiteFactor); err != nil {
+		t.Fatalf("relaxed mode rejected disconnected B: %v", err)
+	}
+	// Factors with self loops always rejected.
+	loopy := gen.Path(3).WithFullSelfLoops()
+	if _, err := NewRelaxed(loopy, gen.Path(3), ModeSelfLoopFactor); err == nil {
+		t.Fatal("accepted factor with self loops")
+	}
+	if _, err := NewRelaxed(gen.Complete(3), loopy, ModeNonBipartiteFactor); err == nil {
+		t.Fatal("accepted B factor with self loops")
+	}
+	// Unknown mode.
+	if _, err := NewRelaxed(gen.Complete(3), gen.Path(3), Mode(99)); err == nil {
+		t.Fatal("accepted unknown mode")
+	}
+}
+
+func TestIndexMapsRoundTrip(t *testing.T) {
+	p, err := New(gen.Complete(3), gen.Path(4), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < p.N(); v++ {
+		i, k := p.PairOf(v)
+		if p.IndexOf(i, k) != v {
+			t.Fatalf("index maps do not invert at %d", v)
+		}
+		if i < 0 || i >= 3 || k < 0 || k >= 4 {
+			t.Fatalf("PairOf(%d) = (%d,%d) out of range", v, i, k)
+		}
+	}
+}
+
+func TestNumEdgesClosedForm(t *testing.T) {
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(g.NumEdges()) != p.NumEdges() {
+			t.Fatalf("%s: NumEdges formula %d, materialized %d", tc.name, p.NumEdges(), g.NumEdges())
+		}
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(g.NumEdges()) != p.NumEdges() {
+			t.Fatalf("%s: NumEdges formula %d, materialized %d", tc.name, p.NumEdges(), g.NumEdges())
+		}
+	}
+}
+
+// TestTheorem1And2Connectivity verifies the headline structural claims: the
+// strict products are connected AND bipartite, while the naive
+// bipartite ⊗ bipartite product (Fig. 1 top) is disconnected.
+func TestTheorem1And2Connectivity(t *testing.T) {
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !p.ConnectedByTheorem() {
+			t.Fatalf("%s: strict product not marked connected", tc.name)
+		}
+		g, _ := p.Materialize(0)
+		if !g.IsConnected() {
+			t.Fatalf("%s: Thm. 1 violated — product disconnected", tc.name)
+		}
+		if !g.IsBipartite() {
+			t.Fatalf("%s: product not bipartite", tc.name)
+		}
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		g, _ := p.Materialize(0)
+		if !g.IsConnected() {
+			t.Fatalf("%s: Thm. 2 violated — product disconnected", tc.name)
+		}
+		if !g.IsBipartite() {
+			t.Fatalf("%s: product not bipartite", tc.name)
+		}
+	}
+	// Fig. 1 (top): bipartite ⊗ bipartite without self loops is disconnected.
+	p, err := NewRelaxed(gen.Path(3), gen.Path(3), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ConnectedByTheorem() {
+		t.Fatal("relaxed product claims theorem-backed connectivity")
+	}
+	g, _ := p.Materialize(0)
+	if g.IsConnected() {
+		t.Fatal("bipartite ⊗ bipartite product should be disconnected (Fig. 1)")
+	}
+}
+
+func TestPartSizesAndSides(t *testing.T) {
+	b, _ := graph.AsBipartite(gen.Path(4))
+	_ = b
+	p, err := New(gen.Complete(3), gen.Path(4), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nu, nw := p.PartSizes()
+	if nu+nw != p.N() {
+		t.Fatalf("part sizes %d+%d != n=%d", nu, nw, p.N())
+	}
+	// Sides must 2-color every materialized edge.
+	g, _ := p.Materialize(0)
+	g.EachEdge(func(u, v int) bool {
+		if p.SideOf(u) == p.SideOf(v) {
+			t.Fatalf("edge (%d,%d) within one side", u, v)
+		}
+		return true
+	})
+	// Count sides.
+	cu := 0
+	for v := 0; v < p.N(); v++ {
+		if p.SideOf(v) == graph.SideU {
+			cu++
+		}
+	}
+	if cu != nu {
+		t.Fatalf("SideOf counts %d U vertices, PartSizes says %d", cu, nu)
+	}
+}
+
+func TestDegreesMatchMaterialized(t *testing.T) {
+	check := func(name string, p *Product) {
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Degrees()
+		got := p.Degrees()
+		if !grb.EqualVec(got, want) {
+			t.Fatalf("%s: degree vector mismatch", name)
+		}
+		for v := 0; v < p.N(); v++ {
+			if p.DegreeAt(v) != want[v] {
+				t.Fatalf("%s: DegreeAt(%d) = %d, want %d", name, v, p.DegreeAt(v), want[v])
+			}
+		}
+		w2want := g.TwoWalks()
+		w2got := p.TwoWalks()
+		if !grb.EqualVec(w2got, w2want) {
+			t.Fatalf("%s: two-walk vector mismatch", name)
+		}
+		for v := 0; v < p.N(); v++ {
+			if p.TwoWalksAt(v) != w2want[v] {
+				t.Fatalf("%s: TwoWalksAt(%d) = %d, want %d", name, v, p.TwoWalksAt(v), w2want[v])
+			}
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(tc.name, p)
+	}
+}
+
+// TestVertexFourCyclesAgainstBruteForce is the central Thm. 3/4 validation:
+// the closed-form per-vertex 4-cycle counts must equal a brute-force count
+// on the materialized product for every factor pair.
+func TestVertexFourCyclesAgainstBruteForce(t *testing.T) {
+	check := func(name string, p *Product) {
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := count.VertexButterflies(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := p.VertexFourCycles()
+		if !grb.EqualVec(got, want) {
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s: s[%d] = %d, brute force %d", name, v, got[v], want[v])
+				}
+			}
+		}
+		// Point queries agree with the vector.
+		for v := 0; v < p.N(); v++ {
+			if p.VertexFourCyclesAt(v) != got[v] {
+				t.Fatalf("%s: VertexFourCyclesAt(%d) disagrees with vector", name, v)
+			}
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+// TestEdgeFourCyclesAgainstBruteForce validates Thm. 5 and the derived
+// mode-(ii) edge formula against the combinatorial edge counter.
+func TestEdgeFourCyclesAgainstBruteForce(t *testing.T) {
+	check := func(name string, p *Product) {
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := count.EdgeButterflies(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := 0
+		p.EachEdgeFourCycle(func(v, w int, sq int64) bool {
+			seen++
+			e := graph.Edge{U: v, V: w}
+			if w < v {
+				e = graph.Edge{U: w, V: v}
+			}
+			bf, ok := want[e]
+			if !ok {
+				t.Fatalf("%s: streamed edge %v not in materialized graph", name, e)
+			}
+			if sq != bf {
+				t.Fatalf("%s: ◊(%d,%d) = %d, brute force %d", name, v, w, sq, bf)
+			}
+			return true
+		})
+		if int64(seen) != p.NumEdges() {
+			t.Fatalf("%s: streamed %d edges, want %d", name, seen, p.NumEdges())
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+func TestGlobalFourCyclesThreeWays(t *testing.T) {
+	check := func(name string, p *Product) {
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute, err := count.GlobalButterflies(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.GlobalFourCycles(); got != brute {
+			t.Fatalf("%s: GlobalFourCycles = %d, brute force %d", name, got, brute)
+		}
+		if got := p.GlobalFourCyclesViaEdges(); got != brute {
+			t.Fatalf("%s: GlobalFourCyclesViaEdges = %d, brute force %d", name, got, brute)
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, _ := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, _ := New(tc.a, tc.b, ModeSelfLoopFactor)
+		check("mode2 "+tc.name, p)
+	}
+}
+
+// TestPropertyRandomFactors cross-validates both modes on random factors.
+func TestPropertyRandomFactors(t *testing.T) {
+	randBip := func(rng *rand.Rand) *graph.Graph {
+		nu, nw := 2+rng.Intn(3), 2+rng.Intn(3)
+		var pairs [][2]int
+		for u := 0; u < nu; u++ {
+			for w := 0; w < nw; w++ {
+				if rng.Float64() < 0.6 {
+					pairs = append(pairs, [2]int{u, w})
+				}
+			}
+		}
+		b, err := graph.NewBipartite(nu, nw, pairs)
+		if err != nil {
+			panic(err)
+		}
+		return b.Graph
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bGraph := randBip(rng)
+
+		// Mode (ii): bipartite A.
+		p2, err := NewRelaxed(randBip(rng), bGraph, ModeSelfLoopFactor)
+		if err != nil {
+			return false
+		}
+		// Mode (i): A = odd cycle with chords.
+		a := gen.Cycle(3 + 2*rng.Intn(2))
+		p1, err := NewRelaxed(a, bGraph, ModeNonBipartiteFactor)
+		if err != nil {
+			return false
+		}
+		for _, p := range []*Product{p1, p2} {
+			g, err := p.Materialize(0)
+			if err != nil {
+				return false
+			}
+			want, err := count.VertexButterflies(g)
+			if err != nil {
+				return false
+			}
+			if !grb.EqualVec(p.VertexFourCycles(), want) {
+				return false
+			}
+			wantE, err := count.EdgeButterflies(g)
+			if err != nil {
+				return false
+			}
+			ok := true
+			p.EachEdgeFourCycle(func(v, w int, sq int64) bool {
+				e := graph.Edge{U: min(v, w), V: max(v, w)}
+				if wantE[e] != sq {
+					ok = false
+					return false
+				}
+				return true
+			})
+			if !ok {
+				return false
+			}
+			wantG, err := count.GlobalButterflies(g)
+			if err != nil || p.GlobalFourCycles() != wantG {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasEdgeMatchesMaterialized(t *testing.T) {
+	p, err := New(gen.Path(3), gen.Cycle(4), ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := p.Materialize(0)
+	for v := 0; v < p.N(); v++ {
+		for w := 0; w < p.N(); w++ {
+			if p.HasEdge(v, w) != g.HasEdge(v, w) {
+				t.Fatalf("HasEdge(%d,%d) = %v, materialized %v", v, w, p.HasEdge(v, w), g.HasEdge(v, w))
+			}
+		}
+	}
+}
+
+func TestEachEdgeNoDuplicates(t *testing.T) {
+	p, err := New(gen.Star(4), gen.Cycle(6), ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.Edge]bool{}
+	p.EachEdge(func(v, w int) bool {
+		e := graph.Edge{U: min(v, w), V: max(v, w)}
+		if seen[e] {
+			t.Fatalf("edge %v streamed twice", e)
+		}
+		seen[e] = true
+		return true
+	})
+	if int64(len(seen)) != p.NumEdges() {
+		t.Fatalf("streamed %d distinct edges, want %d", len(seen), p.NumEdges())
+	}
+	// Early stop.
+	n := 0
+	p.EachEdge(func(v, w int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop streamed %d, want 5", n)
+	}
+}
+
+func TestEdgeFourCyclesAtNonEdge(t *testing.T) {
+	p, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	if _, err := p.EdgeFourCyclesAt(0, 0); err == nil {
+		t.Fatal("accepted self pair as edge")
+	}
+}
+
+// TestRemark1ProductsAlwaysHaveFourCycles: factors with zero 4-cycles and a
+// vertex of degree ≥ 2 on each side yield a product with 4-cycles.
+func TestRemark1ProductsAlwaysHaveFourCycles(t *testing.T) {
+	a := gen.Lollipop(3, 2) // non-bipartite, 4-cycle free
+	b := gen.Star(4)        // bipartite, 4-cycle free
+	fa, _ := NewFactor(a)
+	fb, _ := NewFactor(b)
+	if fa.Global4 != 0 || fb.Global4 != 0 {
+		t.Fatal("test factors are not 4-cycle free")
+	}
+	p, err := New(a, b, ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GlobalFourCycles() == 0 {
+		t.Fatal("Remark 1 violated: product of 4-cycle-free factors has no 4-cycles")
+	}
+	// Mode (ii) variant.
+	p2, err := New(gen.Path(3), b, ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.GlobalFourCycles() == 0 {
+		t.Fatal("Remark 1 violated in mode (ii)")
+	}
+}
+
+// TestPrintedThm4SignErratum documents the sign erratum in the printed
+// Thm. 4: evaluating the published vector form verbatim (−d_C, +d_C²)
+// disagrees with brute force, while the proof-consistent form (+d_C, −d_C²)
+// that this package implements agrees.
+func TestPrintedThm4SignErratum(t *testing.T) {
+	a, b := gen.Path(2), gen.Path(3)
+	p, err := New(a, b, ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := p.Materialize(0)
+	brute, _ := count.VertexButterflies(g)
+
+	// Printed form: ½[ diag4 − d_C − w2_C + d_C² ].
+	printed := make([]int64, p.N())
+	for v := range printed {
+		i, k := p.PairOf(v)
+		diag4 := p.diag4A(i) * p.b.diag4(k)
+		d := p.DegreeAt(v)
+		w2 := p.TwoWalksAt(v)
+		printed[v] = (diag4 - d - w2 + d*d) / 2
+	}
+	if grb.EqualVec(printed, brute) {
+		t.Fatal("printed Thm. 4 signs unexpectedly agree with brute force; erratum note is stale")
+	}
+	if !grb.EqualVec(p.VertexFourCycles(), brute) {
+		t.Fatal("proof-consistent Thm. 4 disagrees with brute force")
+	}
+}
+
+// TestPrintedThm5ExpansionErratum documents the missing +2 in the printed
+// point-wise expansion of Thm. 5 (A=K₃, B=K₂ gives C=C₆, which is 4-cycle
+// free; the printed expansion yields −2 per edge).
+func TestPrintedThm5ExpansionErratum(t *testing.T) {
+	p, err := New(gen.Complete(3), gen.Path(2), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.EachEdgeFourCycle(func(v, w int, sq int64) bool {
+		if sq != 0 {
+			t.Fatalf("C6 edge (%d,%d) has ◊ = %d, want 0", v, w, sq)
+		}
+		// Printed expansion: ◊◊ + ◊(dk+dl−1) + (di+dj−1)◊ + didl − di − dl
+		// + djdk − dj − dk; with all factor ◊ = 0 and degrees (2,2,1,1) this
+		// is 2−2−1+2−2−1 = −2 ≠ 0.
+		i, _ := p.PairOf(v)
+		j, _ := p.PairOf(w)
+		di, dj := p.a.D[i], p.a.D[j]
+		var dk, dl int64 = 1, 1
+		printedVal := di*dl - di - dl + dj*dk - dj - dk
+		if printedVal == 0 {
+			t.Fatal("printed Thm. 5 expansion unexpectedly agrees; erratum note is stale")
+		}
+		return true
+	})
+}
+
+func TestStringers(t *testing.T) {
+	p, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	if p.String() == "" || p.Mode().String() == "" {
+		t.Fatal("empty String")
+	}
+	if Mode(99).String() == "" || ModeSelfLoopFactor.String() == "" {
+		t.Fatal("empty Mode String")
+	}
+}
+
+func TestFactorStats(t *testing.T) {
+	f, err := NewFactor(gen.CompleteBipartite(3, 3).Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Global4 != 9 {
+		t.Fatalf("K33 factor Global4 = %d, want 9", f.Global4)
+	}
+	if f.Triangles != 0 {
+		t.Fatal("bipartite factor has triangles")
+	}
+	if _, err := f.SqAt(0, 1); err == nil {
+		t.Fatal("SqAt accepted non-edge (same side)")
+	}
+	sq, err := f.SqAt(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sq != 4 {
+		t.Fatalf("K33 edge ◊ = %d, want 4", sq)
+	}
+	kf, _ := NewFactor(gen.Complete(4))
+	if kf.Triangles != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", kf.Triangles)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"kronbip/internal/stats"
+)
+
+// TestDegreeHistogramAgainstMaterialized validates the sublinear degree
+// distribution formula for both modes across the factor-pair suites.
+func TestDegreeHistogramAgainstMaterialized(t *testing.T) {
+	check := func(name string, p *Product) {
+		t.Helper()
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := stats.FromValues(g.Degrees())
+		got := stats.Histogram(p.DegreeHistogram())
+		if !got.Equal(want) {
+			t.Fatalf("%s: degree histogram mismatch\n got %v\nwant %v", name, got, want)
+		}
+		if got.Total() != int64(p.N()) {
+			t.Fatalf("%s: histogram covers %d vertices, want %d", name, got.Total(), p.N())
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+// TestDegreeHistogramNoPrimes spot-checks the paper's "no large prime
+// degrees" peculiarity: every product degree is a factor-degree product,
+// so a prime degree q can only appear if q itself (times 1) appears.
+func TestDegreeHistogramNoPrimes(t *testing.T) {
+	// Factor degrees in mode (ii): d_A+1 ∈ {2,3}, d_B ∈ {1,2}; products
+	// {2,3,4,6} — degree 5 (prime) cannot occur.
+	p, err := New(mode2Pairs()[0].a, mode2Pairs()[0].b, ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := p.DegreeHistogram()
+	if hist[5] != 0 {
+		t.Fatalf("degree 5 present: %v", hist)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"kronbip/internal/graph"
+)
+
+// Distance ground truth.  The paper notes (§I, citing the prior Kronecker
+// ground-truth work) that formulas for degree, diameter and eccentricity
+// "carry over directly"; this file implements them exactly for both
+// Assumption 1 modes.
+//
+// The key fact: (C^h)_{pq} = (M^h)_{ij}·(B^h)_{kl}, and a walk of length h
+// and parity h mod 2 can always be padded by retracing edges (+2 hops), so
+// reachability at horizon h is characterized per factor by shortest
+// even/odd walk lengths:
+//
+//	mode (i), C = A ⊗ B:   hops_C = max( minOddEvenWalk_A(i,j; t), hops_B(k,l) ),
+//	                        t = hops_B(k,l) mod 2  (B is bipartite: all k→l
+//	                        walks share that parity),
+//	mode (ii), C = (A+I) ⊗ B: (M^h)_{ij} > 0 ⇔ h ≥ hops_A(i,j) (laziness
+//	                        erases parity), so hops_C is max(hops_A, hops_B)
+//	                        rounded up to the parity of hops_B(k,l).
+type distanceIndex struct {
+	parityA []graph.ParityDistances // mode (i): even/odd walk lengths in A
+	hopsA   [][]int                 // mode (ii): plain BFS distances in A
+	hopsB   [][]int                 // plain BFS distances in B
+}
+
+var errRelaxedDistances = fmt.Errorf("core: eccentricity/diameter ground truth requires the strict Assumption 1 premises (construct with New/NewWithParts); relaxed products may be disconnected")
+
+func (p *Product) distances() *distanceIndex {
+	p.distOnce.Do(func() {
+		idx := &distanceIndex{hopsB: make([][]int, p.b.N())}
+		for k := 0; k < p.b.N(); k++ {
+			idx.hopsB[k] = p.b.G.BFS(k)
+		}
+		if p.mode == ModeNonBipartiteFactor {
+			idx.parityA = p.a.G.AllParityBFS()
+		} else {
+			idx.hopsA = make([][]int, p.a.N())
+			for i := 0; i < p.a.N(); i++ {
+				idx.hopsA[i] = p.a.G.BFS(i)
+			}
+		}
+		p.dist = idx
+	})
+	return p.dist
+}
+
+// HopsAt returns the exact shortest-path distance between product vertices
+// v and w, computed from factor BFS tables in O(1) after an O(n·m)
+// per-factor precomputation.  ok is false when w is unreachable from v.
+func (p *Product) HopsAt(v, w int) (hops int, ok bool) {
+	if v == w {
+		return 0, true
+	}
+	idx := p.distances()
+	i, k := p.PairOf(v)
+	j, l := p.PairOf(w)
+	hB := idx.hopsB[k][l]
+	if hB == graph.Unreached {
+		return 0, false
+	}
+	t := hB % 2
+	if p.mode == ModeNonBipartiteFactor {
+		wA := idx.parityA[i].MinWalk(j, t)
+		if wA == graph.Unreached {
+			return 0, false
+		}
+		if wA > hB {
+			return wA, true
+		}
+		return hB, true
+	}
+	hA := idx.hopsA[i][j]
+	if hA == graph.Unreached {
+		return 0, false
+	}
+	h := hA
+	if hB > h {
+		h = hB
+	}
+	if h%2 != t {
+		h++
+	}
+	return h, true
+}
+
+// EccentricityAt returns the exact eccentricity of product vertex v — the
+// maximum distance to any other product vertex — from factor statistics.
+// It requires the strict Assumption 1 premises (Thm. 1/2), under which the
+// product is connected.
+func (p *Product) EccentricityAt(v int) (int, error) {
+	if !p.strict {
+		return 0, errRelaxedDistances
+	}
+	if p.b.N() < 2 {
+		return 0, fmt.Errorf("core: factor B has fewer than 2 vertices; the product has no edges")
+	}
+	idx := p.distances()
+	i, k := p.PairOf(v)
+	ecc := 0
+	for t := 0; t < 2; t++ {
+		// Largest hops_B(k,l) among l with parity t; both parities are
+		// realized for every k in a connected bipartite B with >= 2 vertices.
+		maxB := -1
+		for _, d := range idx.hopsB[k] {
+			if d != graph.Unreached && d%2 == t && d > maxB {
+				maxB = d
+			}
+		}
+		if maxB < 0 {
+			continue
+		}
+		var h int
+		if p.mode == ModeNonBipartiteFactor {
+			// max over j of the shortest parity-t walk in A; strictness
+			// guarantees A is connected and non-bipartite, so finite.
+			maxA := 0
+			for j := 0; j < p.a.N(); j++ {
+				w := idx.parityA[i].MinWalk(j, t)
+				if w == graph.Unreached {
+					return 0, fmt.Errorf("core: internal: parity-%d walk missing in strict mode (i)", t)
+				}
+				if w > maxA {
+					maxA = w
+				}
+			}
+			h = maxA
+			if maxB > h {
+				h = maxB
+			}
+		} else {
+			maxA := 0
+			for j := 0; j < p.a.N(); j++ {
+				d := idx.hopsA[i][j]
+				if d == graph.Unreached {
+					return 0, fmt.Errorf("core: internal: factor A disconnected in strict mode (ii)")
+				}
+				if d > maxA {
+					maxA = d
+				}
+			}
+			h = maxA
+			if maxB > h {
+				h = maxB
+			}
+			if h%2 != t {
+				h++
+			}
+		}
+		if h > ecc {
+			ecc = h
+		}
+	}
+	return ecc, nil
+}
+
+// Diameter returns the exact diameter of the product from factor
+// statistics, in O(n_A·m_A + n_B·m_B) total.  Requires strict premises.
+func (p *Product) Diameter() (int, error) {
+	if !p.strict {
+		return 0, errRelaxedDistances
+	}
+	if p.b.N() < 2 {
+		return 0, fmt.Errorf("core: factor B has fewer than 2 vertices; the product has no edges")
+	}
+	idx := p.distances()
+	diam := 0
+	for t := 0; t < 2; t++ {
+		maxB := -1
+		for k := range idx.hopsB {
+			for _, d := range idx.hopsB[k] {
+				if d != graph.Unreached && d%2 == t && d > maxB {
+					maxB = d
+				}
+			}
+		}
+		if maxB < 0 {
+			continue
+		}
+		var h int
+		if p.mode == ModeNonBipartiteFactor {
+			maxA := 0
+			for i := range idx.parityA {
+				for j := 0; j < p.a.N(); j++ {
+					if w := idx.parityA[i].MinWalk(j, t); w > maxA {
+						maxA = w
+					}
+				}
+			}
+			h = maxA
+			if maxB > h {
+				h = maxB
+			}
+		} else {
+			maxA := 0 // the diameter of A
+			for i := range idx.hopsA {
+				for _, d := range idx.hopsA[i] {
+					if d > maxA {
+						maxA = d
+					}
+				}
+			}
+			h = maxA
+			if maxB > h {
+				h = maxB
+			}
+			if h%2 != t {
+				h++
+			}
+		}
+		if h > diam {
+			diam = h
+		}
+	}
+	return diam, nil
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"kronbip/internal/gen"
+)
+
+// TestHopsAgainstBFS validates the closed-form product distances against
+// all-pairs BFS on the materialized product, for every strict factor pair
+// in both modes.
+func TestHopsAgainstBFS(t *testing.T) {
+	check := func(name string, p *Product) {
+		t.Helper()
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < p.N(); v++ {
+			dist := g.BFS(v)
+			for w := 0; w < p.N(); w++ {
+				hops, ok := p.HopsAt(v, w)
+				if !ok {
+					if dist[w] != -1 {
+						t.Fatalf("%s: HopsAt(%d,%d) unreachable, BFS says %d", name, v, w, dist[w])
+					}
+					continue
+				}
+				if dist[w] != hops {
+					t.Fatalf("%s: HopsAt(%d,%d) = %d, BFS says %d", name, v, w, hops, dist[w])
+				}
+			}
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+// TestHopsRelaxedDisconnected checks unreachability reporting on the
+// classic disconnected bipartite ⊗ bipartite product.
+func TestHopsRelaxedDisconnected(t *testing.T) {
+	p, err := NewRelaxed(gen.Path(3), gen.Path(3), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := p.Materialize(0)
+	label, comps := g.ConnectedComponents()
+	if comps < 2 {
+		t.Fatal("test premise wrong: product should be disconnected")
+	}
+	for v := 0; v < p.N(); v++ {
+		for w := 0; w < p.N(); w++ {
+			_, ok := p.HopsAt(v, w)
+			sameComp := label[v] == label[w]
+			if ok != sameComp {
+				t.Fatalf("HopsAt(%d,%d) ok=%v, components say %v", v, w, ok, sameComp)
+			}
+		}
+	}
+}
+
+func TestEccentricityAgainstBFS(t *testing.T) {
+	check := func(name string, p *Product) {
+		t.Helper()
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < p.N(); v++ {
+			want := g.Eccentricity(v)
+			got, err := p.EccentricityAt(v)
+			if err != nil {
+				t.Fatalf("%s: EccentricityAt(%d): %v", name, v, err)
+			}
+			if got != want {
+				t.Fatalf("%s: EccentricityAt(%d) = %d, BFS says %d", name, v, got, want)
+			}
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+func TestDiameterAgainstBFS(t *testing.T) {
+	check := func(name string, p *Product) {
+		t.Helper()
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Diameter()
+		got, err := p.Diameter()
+		if err != nil {
+			t.Fatalf("%s: Diameter: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: Diameter = %d, BFS says %d", name, got, want)
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+func TestDistanceGroundTruthRequiresStrict(t *testing.T) {
+	p, err := NewRelaxed(gen.Complete(3), gen.DisjointUnion(gen.Path(2), gen.Path(2)), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.EccentricityAt(0); err == nil {
+		t.Fatal("EccentricityAt accepted relaxed product")
+	}
+	if _, err := p.Diameter(); err == nil {
+		t.Fatal("Diameter accepted relaxed product")
+	}
+}
+
+func TestHopsSelfPair(t *testing.T) {
+	p, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	h, ok := p.HopsAt(4, 4)
+	if !ok || h != 0 {
+		t.Fatalf("HopsAt(v,v) = %d,%v; want 0,true", h, ok)
+	}
+}

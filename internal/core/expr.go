@@ -1,0 +1,46 @@
+package core
+
+import "kronbip/internal/grb"
+
+// VertexFourCyclesExpr returns the Thm. 3/4 per-vertex 4-cycle vector as a
+// lazy grb expression over the factor statistics:
+//
+//	2·s_C = diag4_M ⊗ diag4_B − (d_M ⊗ d_B)∘(d_M ⊗ d_B) − w2_M ⊗ w2_B + d_M ⊗ d_B.
+//
+// The expression is the GraphBLAS non-blocking-mode view of the same
+// ground truth: At(p) samples one vertex in O(1) without materializing
+// anything, and Sum()/4 reproduces GlobalFourCycles via the fused
+// Σ(x⊗y) = Σx·Σy reduction.  Note the expression yields 2·s_p; the halving
+// is left to the caller because integer expressions have no division node
+// (see VertexFourCyclesAt for the eager, already-halved form).
+func (p *Product) VertexFourCyclesExpr() grb.Expr[int64] {
+	d4a := make([]int64, p.a.N())
+	w2a := make([]int64, p.a.N())
+	for i := range d4a {
+		d4a[i] = p.diag4A(i)
+		w2a[i] = p.w2A(i)
+	}
+	d4b := make([]int64, p.b.N())
+	for k := range d4b {
+		d4b[k] = p.b.diag4(k)
+	}
+	da := p.degA()
+	// d_C ∘ d_C rewrites as (d_M∘d_M) ⊗ (d_B∘d_B) by Hadamard–Kronecker
+	// distributivity (Prop. 2(e)), keeping every term a Kronecker node so
+	// that Sum() stays sublinear.
+	dC := grb.KronExpr(grb.LeafExpr(da), grb.LeafExpr(p.b.D))
+	dC2 := grb.KronExpr(
+		grb.LeafExpr(grb.HadamardVec(da, da)),
+		grb.LeafExpr(grb.HadamardVec(p.b.D, p.b.D)),
+	)
+	return grb.AddExpr(
+		grb.SubExpr(
+			grb.SubExpr(
+				grb.KronExpr(grb.LeafExpr(d4a), grb.LeafExpr(d4b)),
+				dC2,
+			),
+			grb.KronExpr(grb.LeafExpr(w2a), grb.LeafExpr(p.b.W2)),
+		),
+		dC,
+	)
+}

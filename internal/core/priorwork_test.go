@@ -1,0 +1,140 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+	"kronbip/internal/grb"
+)
+
+func materializeGeneral(t *testing.T, a, b *graph.Graph) *graph.Graph {
+	t.Helper()
+	c, err := grb.Kron(a.Adjacency(), b.Adjacency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromAdjacency(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTriangleGroundTruthAgainstBrute(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *graph.Graph
+	}{
+		{"K3 x K3", gen.Complete(3), gen.Complete(3)},
+		{"K4 x C5", gen.Complete(4), gen.Cycle(5)},
+		{"lollipop x K4", gen.Lollipop(3, 2), gen.Complete(4)},
+		{"petersen x K3", gen.Petersen(), gen.Complete(3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gt, err := NewTriangleGroundTruth(tc.a, tc.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := materializeGeneral(t, tc.a, tc.b)
+			want, err := count.Triangles(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p := 0; p < gt.N(); p++ {
+				if gt.VertexTrianglesAt(p) != want[p] {
+					t.Fatalf("t_C(%d) = %d, brute force %d", p, gt.VertexTrianglesAt(p), want[p])
+				}
+			}
+			global, err := count.GlobalTriangles(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gt.GlobalTriangles() != global {
+				t.Fatalf("global = %d, brute force %d", gt.GlobalTriangles(), global)
+			}
+		})
+	}
+}
+
+func TestEdgeTrianglesAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *graph.Graph {
+			n := 3 + rng.Intn(4)
+			var edges []graph.Edge
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					if rng.Float64() < 0.6 {
+						edges = append(edges, graph.Edge{U: i, V: j})
+					}
+				}
+			}
+			return graph.MustNew(n, edges)
+		}
+		a, b := mk(), mk()
+		gt, err := NewTriangleGroundTruth(a, b)
+		if err != nil {
+			return false
+		}
+		cAdj, err := grb.Kron(a.Adjacency(), b.Adjacency())
+		if err != nil {
+			return false
+		}
+		g, err := graph.FromAdjacency(cAdj)
+		if err != nil {
+			return false
+		}
+		// Brute per-edge triangles on the product.
+		ok := true
+		g.EachEdge(func(u, v int) bool {
+			var common int64
+			for _, x := range g.Neighbors(u) {
+				if g.HasEdge(v, x) {
+					common++
+				}
+			}
+			got, err := gt.EdgeTrianglesAt(u, v)
+			if err != nil || got != common {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleGroundTruthBipartiteIsZero(t *testing.T) {
+	// Any bipartite factor zeroes the product's triangles — the §III claim.
+	gt, err := NewTriangleGroundTruth(gen.Complete(4), gen.Cycle(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.GlobalTriangles() != 0 {
+		t.Fatal("bipartite B should kill all triangles")
+	}
+	for p := 0; p < gt.N(); p++ {
+		if gt.VertexTrianglesAt(p) != 0 {
+			t.Fatal("nonzero vertex triangles with bipartite factor")
+		}
+	}
+}
+
+func TestTriangleGroundTruthErrors(t *testing.T) {
+	loopy := gen.Path(3).WithFullSelfLoops()
+	if _, err := NewTriangleGroundTruth(loopy, gen.Path(3)); err == nil {
+		t.Fatal("accepted factor with self loops")
+	}
+	gt, _ := NewTriangleGroundTruth(gen.Complete(3), gen.Complete(3))
+	if _, err := gt.EdgeTrianglesAt(0, 0); err == nil {
+		t.Fatal("accepted non-edge")
+	}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"kronbip/internal/graph"
+	"kronbip/internal/grb"
+)
+
+// Mode selects which of the paper's Assumption 1 constructions the product
+// uses.
+type Mode int
+
+// Product construction modes.
+const (
+	// ModeNonBipartiteFactor is Assumption 1(i): C = A ⊗ B with A
+	// non-bipartite, B bipartite, both connected and loop-free (Thm. 1).
+	ModeNonBipartiteFactor Mode = iota
+	// ModeSelfLoopFactor is Assumption 1(ii): C = (A + I_A) ⊗ B with A and
+	// B bipartite, connected and loop-free (Thm. 2).
+	ModeSelfLoopFactor
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNonBipartiteFactor:
+		return "A⊗B (non-bipartite A)"
+	case ModeSelfLoopFactor:
+		return "(A+I)⊗B (self loops on A)"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Product is a non-stochastic Kronecker product graph described entirely by
+// its two factors; the product graph itself is never stored.  Vertex p of C
+// pairs factor vertices (i,k) via p = i·n_B + k.
+type Product struct {
+	mode   Mode
+	a, b   *Factor
+	colorB []graph.Side // bipartition of B (fixes the bipartition of C)
+	nuB    int          // |U_B|
+	nwB    int          // |W_B|
+
+	// strict records whether the full Assumption 1 premises (connectivity,
+	// and non-bipartiteness of A in mode (i)) were verified at construction.
+	strict bool
+
+	// Lazily built factor BFS tables backing the exact distance ground
+	// truth (HopsAt, EccentricityAt, Diameter).
+	distOnce sync.Once
+	dist     *distanceIndex
+}
+
+// New constructs a Product and verifies the full premises of Assumption 1
+// and Theorems 1–2, so the result is guaranteed connected and bipartite:
+//
+//	mode (i):  A connected, undirected, non-bipartite; B connected bipartite.
+//	mode (ii): A and B connected, undirected, bipartite.
+//
+// Factors must be loop-free; mode (ii) adds the self loops internally.
+func New(a, b *graph.Graph, mode Mode) (*Product, error) {
+	p, err := NewRelaxed(a, b, mode)
+	if err != nil {
+		return nil, err
+	}
+	if !a.IsConnected() {
+		return nil, fmt.Errorf("core: factor A is disconnected; Thm. %d requires connected factors (use NewRelaxed to waive)", mode+1)
+	}
+	if !b.IsConnected() {
+		return nil, fmt.Errorf("core: factor B is disconnected; Thm. %d requires connected factors (use NewRelaxed to waive)", mode+1)
+	}
+	if mode == ModeNonBipartiteFactor && a.IsBipartite() {
+		return nil, fmt.Errorf("core: factor A is bipartite; Assumption 1(i) requires a non-bipartite A or the product is disconnected (use ModeSelfLoopFactor or NewRelaxed)")
+	}
+	p.strict = true
+	return p, nil
+}
+
+// NewRelaxed constructs a Product checking only the structural requirements
+// the ground-truth formulas need:
+//
+//   - both factors loop-free and undirected,
+//   - B bipartite (so C is bipartite),
+//   - mode (ii): A bipartite (the Thm. 4 expansion uses diag(A³) = 0 and
+//     A² ∘ A = 0, which need A free of odd closed walks).
+//
+// Connectivity of the product is NOT guaranteed.  The paper's own Table I
+// experiment uses a disconnected unicode factor and needs this constructor.
+func NewRelaxed(a, b *graph.Graph, mode Mode) (*Product, error) {
+	if mode != ModeNonBipartiteFactor && mode != ModeSelfLoopFactor {
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
+	fb, err := NewFactor(b)
+	if err != nil {
+		return nil, fmt.Errorf("core: factor B: %w", err)
+	}
+	bp, _, ok := b.Bipartition()
+	if !ok {
+		return nil, fmt.Errorf("core: factor B must be bipartite for the product to be bipartite")
+	}
+	fa, err := NewFactor(a)
+	if err != nil {
+		return nil, fmt.Errorf("core: factor A: %w", err)
+	}
+	if mode == ModeSelfLoopFactor && !a.IsBipartite() {
+		return nil, fmt.Errorf("core: mode (A+I)⊗B requires a bipartite A: the Thm. 4 derivation needs diag(A³)=0 and A²∘A=0")
+	}
+	return &Product{
+		mode:   mode,
+		a:      fa,
+		b:      fb,
+		colorB: bp.Color,
+		nuB:    len(bp.U),
+		nwB:    len(bp.W),
+	}, nil
+}
+
+// NewWithParts is New with B supplied as a *graph.Bipartite whose declared
+// bipartition (rather than a fresh 2-coloring) fixes the product's U_C/W_C
+// split.  For disconnected B the two can differ: a BFS 2-coloring picks
+// arbitrary sides per component, while datasets such as the paper's unicode
+// network carry a semantic side assignment.
+func NewWithParts(a *graph.Graph, b *graph.Bipartite, mode Mode) (*Product, error) {
+	p, err := New(a, b.Graph, mode)
+	if err != nil {
+		return nil, err
+	}
+	return p.withParts(b)
+}
+
+// NewRelaxedWithParts is NewRelaxed honoring B's declared bipartition.
+func NewRelaxedWithParts(a *graph.Graph, b *graph.Bipartite, mode Mode) (*Product, error) {
+	p, err := NewRelaxed(a, b.Graph, mode)
+	if err != nil {
+		return nil, err
+	}
+	return p.withParts(b)
+}
+
+func (p *Product) withParts(b *graph.Bipartite) (*Product, error) {
+	if len(b.Part.Color) != p.b.N() {
+		return nil, fmt.Errorf("core: bipartition covers %d vertices, factor B has %d", len(b.Part.Color), p.b.N())
+	}
+	// The declared coloring must 2-color every B edge.
+	valid := true
+	b.EachEdge(func(u, v int) bool {
+		if b.Part.Color[u] == b.Part.Color[v] {
+			valid = false
+			return false
+		}
+		return true
+	})
+	if !valid {
+		return nil, fmt.Errorf("core: declared bipartition does not 2-color factor B")
+	}
+	p.colorB = b.Part.Color
+	p.nuB = len(b.Part.U)
+	p.nwB = len(b.Part.W)
+	return p, nil
+}
+
+// Mode returns the construction mode.
+func (p *Product) Mode() Mode { return p.mode }
+
+// FactorA returns the A factor statistics.
+func (p *Product) FactorA() *Factor { return p.a }
+
+// FactorB returns the B factor statistics.
+func (p *Product) FactorB() *Factor { return p.b }
+
+// N returns |V_C| = n_A · n_B.
+func (p *Product) N() int { return p.a.N() * p.b.N() }
+
+// PairOf maps a product vertex to its factor coordinates (the paper's
+// α, β maps, 0-based).
+func (p *Product) PairOf(v int) (i, k int) { return v / p.b.N(), v % p.b.N() }
+
+// IndexOf maps factor coordinates to the product vertex (the γ map).
+func (p *Product) IndexOf(i, k int) int { return i*p.b.N() + k }
+
+// NumEdges returns |E_C| in closed form:
+//
+//	mode (i):  2·|E_A|·|E_B|        (nnz(A)·nnz(B)/2)
+//	mode (ii): (2·|E_A|+n_A)·|E_B|  (nnz(A+I)·nnz(B)/2)
+func (p *Product) NumEdges() int64 {
+	ea := int64(p.a.G.NumEdges())
+	eb := int64(p.b.G.NumEdges())
+	switch p.mode {
+	case ModeSelfLoopFactor:
+		return (2*ea + int64(p.a.N())) * eb
+	default:
+		return 2 * ea * eb
+	}
+}
+
+// SideOf returns which part of C's bipartition vertex v belongs to.  The
+// product inherits B's bipartition: (i,k) is in U_C iff k ∈ U_B.
+func (p *Product) SideOf(v int) graph.Side {
+	_, k := p.PairOf(v)
+	return p.colorB[k]
+}
+
+// PartSizes returns |U_C| = n_A·|U_B| and |W_C| = n_A·|W_B|.
+func (p *Product) PartSizes() (nu, nw int) {
+	return p.a.N() * p.nuB, p.a.N() * p.nwB
+}
+
+// ConnectedByTheorem reports whether the product is guaranteed connected by
+// Thm. 1 (mode i) or Thm. 2 (mode ii).  True exactly when the strict
+// premises were verified at construction.
+func (p *Product) ConnectedByTheorem() bool { return p.strict }
+
+// HasEdge reports whether {v,w} is an edge of C, answered from the factors
+// in O(log d) time without materializing anything.
+func (p *Product) HasEdge(v, w int) bool {
+	i, k := p.PairOf(v)
+	j, l := p.PairOf(w)
+	aij := p.a.G.HasEdge(i, j) || (p.mode == ModeSelfLoopFactor && i == j)
+	return aij && p.b.G.HasEdge(k, l)
+}
+
+// DegreeAt returns d_p in O(1):
+//
+//	mode (i):  d_p = d_i·d_k
+//	mode (ii): d_p = (d_i+1)·d_k
+func (p *Product) DegreeAt(v int) int64 {
+	i, k := p.PairOf(v)
+	di := p.a.D[i]
+	if p.mode == ModeSelfLoopFactor {
+		di++
+	}
+	return di * p.b.D[k]
+}
+
+// Degrees returns the full degree vector d_C = d_M ⊗ d_B.
+func (p *Product) Degrees() []int64 {
+	return grb.KronVec(p.degA(), p.b.D)
+}
+
+// TwoWalksAt returns w⁽²⁾_p, the number of 2-hop walks leaving p:
+//
+//	mode (i):  w⁽²⁾_i · w⁽²⁾_k
+//	mode (ii): (w⁽²⁾_i + 2d_i + 1) · w⁽²⁾_k
+func (p *Product) TwoWalksAt(v int) int64 {
+	i, k := p.PairOf(v)
+	return p.w2A(i) * p.b.W2[k]
+}
+
+// TwoWalks returns the full two-walk vector of C.
+func (p *Product) TwoWalks() []int64 {
+	wa := make([]int64, p.a.N())
+	for i := range wa {
+		wa[i] = p.w2A(i)
+	}
+	return grb.KronVec(wa, p.b.W2)
+}
+
+// degA returns the degree vector of the effective left factor M
+// (A or A+I).
+func (p *Product) degA() []int64 {
+	if p.mode == ModeSelfLoopFactor {
+		return grb.ShiftVec(p.a.D, 1)
+	}
+	return p.a.D
+}
+
+// w2A returns ((M²)·1)_i for the effective left factor: (A+I)²·1 =
+// (A² + 2A + I)·1 = w⁽²⁾ + 2d + 1 in mode (ii).
+func (p *Product) w2A(i int) int64 {
+	if p.mode == ModeSelfLoopFactor {
+		return p.a.W2[i] + 2*p.a.D[i] + 1
+	}
+	return p.a.W2[i]
+}
+
+// Materialize builds the explicit product graph via the grb Kronecker
+// kernel — O(nnz(A)·nnz(B)) time and memory — for validation and testing.
+// workers <= 0 selects GOMAXPROCS.
+func (p *Product) Materialize(workers int) (*graph.Graph, error) {
+	ma := p.a.G.Adjacency()
+	if p.mode == ModeSelfLoopFactor {
+		ma = p.a.G.WithFullSelfLoops().Adjacency()
+	}
+	c, err := grb.KronParallel(ma, p.b.G.Adjacency(), workers)
+	if err != nil {
+		return nil, err
+	}
+	return graph.FromAdjacency(c)
+}
+
+// EachEdge streams every undirected edge {v,w} of C exactly once, in
+// deterministic order, without materializing the product.  Each factor-edge
+// pair ({i,j}, {k,l}) contributes two product edges (i,k)–(j,l) and
+// (i,l)–(j,k); in mode (ii) each (self loop i, {k,l}) contributes
+// (i,k)–(i,l).  Iteration stops early if yield returns false.
+func (p *Product) EachEdge(yield func(v, w int) bool) {
+	ea := p.a.G.Edges()
+	eb := p.b.G.Edges()
+	for _, ae := range ea {
+		for _, be := range eb {
+			if !yield(p.IndexOf(ae.U, be.U), p.IndexOf(ae.V, be.V)) {
+				return
+			}
+			if !yield(p.IndexOf(ae.U, be.V), p.IndexOf(ae.V, be.U)) {
+				return
+			}
+		}
+	}
+	if p.mode == ModeSelfLoopFactor {
+		for i := 0; i < p.a.N(); i++ {
+			for _, be := range eb {
+				if !yield(p.IndexOf(i, be.U), p.IndexOf(i, be.V)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// String summarizes the product.
+func (p *Product) String() string {
+	nu, nw := p.PartSizes()
+	return fmt.Sprintf("KroneckerProduct{mode=%v, n=%d (|U|=%d |W|=%d), m=%d}",
+		p.mode, p.N(), nu, nw, p.NumEdges())
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kronbip/internal/gen"
+	"kronbip/internal/grb"
+)
+
+const specTol = 1e-9
+
+func TestPowerIterationKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *grb.Matrix[int64]
+		want float64
+	}{
+		{"K5", gen.Complete(5).Adjacency(), 4},                                           // K_n: n-1
+		{"C8", gen.Cycle(8).Adjacency(), 2},                                              // cycles: 2
+		{"K34", gen.CompleteBipartite(3, 4).Adjacency(), math.Sqrt(12)},                  // K_{a,b}: √(ab)
+		{"star5", gen.Star(5).Adjacency(), 2},                                            // K_{1,4}: √4
+		{"petersen", gen.Petersen().Adjacency(), 3},                                      // 3-regular
+		{"empty", grb.Zero[int64](4, 4), 0},                                              //
+		{"disconnected", gen.DisjointUnion(gen.Complete(4), gen.Path(2)).Adjacency(), 3}, // max component
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := powerIteration(tc.m, specTol, 10000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want) > 1e-6 {
+				t.Fatalf("ρ = %.9f, want %.9f", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSpectralRadiusMatchesMaterialized(t *testing.T) {
+	check := func(name string, p *Product) {
+		t.Helper()
+		truth, err := p.SpectralRadius(specTol, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := p.Materialize(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := powerIteration(g.Adjacency(), specTol, 10000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(truth-direct) > 1e-5*(1+direct) {
+			t.Fatalf("%s: formula ρ = %.9f, direct %.9f", name, truth, direct)
+		}
+	}
+	for _, tc := range mode1Pairs() {
+		p, err := New(tc.a, tc.b, ModeNonBipartiteFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode1 "+tc.name, p)
+	}
+	for _, tc := range mode2Pairs() {
+		p, err := New(tc.a, tc.b, ModeSelfLoopFactor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("mode2 "+tc.name, p)
+	}
+}
+
+func TestSpectralRadiusValidation(t *testing.T) {
+	p, _ := New(gen.Complete(3), gen.Path(3), ModeNonBipartiteFactor)
+	if _, err := p.SpectralRadius(0, 100); err == nil {
+		t.Fatal("accepted zero tolerance")
+	}
+	if _, err := p.SpectralRadius(1e-8, 0); err == nil {
+		t.Fatal("accepted zero iterations")
+	}
+}

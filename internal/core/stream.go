@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Sharded, parallel edge streaming.  Generation is embarrassingly parallel
+// in the factor-edge pairs — the property the paper's distributed-GraphBLAS
+// future work relies on — so the undirected edge set of C is split into
+// nshards deterministic, disjoint slices that can be produced concurrently
+// and written to independent sinks.
+//
+// Work layout: "rows" are the |E_A| factor edges followed (mode (ii)) by
+// the n_A self loops; each row crosses all |E_B| factor edges, a factor
+// edge row emitting two product edges per pair and a self-loop row one.
+
+// numRows returns the sharding row count.
+func (p *Product) numRows() int {
+	rows := p.a.G.NumEdges()
+	if p.mode == ModeSelfLoopFactor {
+		rows += p.a.N()
+	}
+	return rows
+}
+
+// EachEdgeShard streams shard `shard` of `nshards` disjoint slices of the
+// product's undirected edge set.  The union over all shards is exactly the
+// EachEdge stream; edges never repeat across shards.  Iteration stops
+// early if yield returns false.
+func (p *Product) EachEdgeShard(shard, nshards int, yield func(v, w int) bool) error {
+	if nshards <= 0 {
+		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	}
+	if shard < 0 || shard >= nshards {
+		return fmt.Errorf("core: shard %d out of range [0,%d)", shard, nshards)
+	}
+	rows := p.numRows()
+	lo := shard * rows / nshards
+	hi := (shard + 1) * rows / nshards
+	if lo >= hi {
+		return nil
+	}
+	ea := p.a.G.Edges()
+	eb := p.b.G.Edges()
+	for r := lo; r < hi; r++ {
+		if r < len(ea) {
+			ae := ea[r]
+			for _, be := range eb {
+				if !yield(p.IndexOf(ae.U, be.U), p.IndexOf(ae.V, be.V)) {
+					return nil
+				}
+				if !yield(p.IndexOf(ae.U, be.V), p.IndexOf(ae.V, be.U)) {
+					return nil
+				}
+			}
+			continue
+		}
+		i := r - len(ea) // self-loop row (mode (ii) only)
+		for _, be := range eb {
+			if !yield(p.IndexOf(i, be.U), p.IndexOf(i, be.V)) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// ShardEdgeCount returns the number of undirected edges shard `shard` of
+// `nshards` will emit, without streaming.
+func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
+	if nshards <= 0 {
+		return 0, fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	}
+	if shard < 0 || shard >= nshards {
+		return 0, fmt.Errorf("core: shard %d out of range [0,%d)", shard, nshards)
+	}
+	rows := p.numRows()
+	lo := shard * rows / nshards
+	hi := (shard + 1) * rows / nshards
+	nea := p.a.G.NumEdges()
+	eb := int64(p.b.G.NumEdges())
+	var n int64
+	for r := lo; r < hi; r++ {
+		if r < nea {
+			n += 2 * eb
+		} else {
+			n += eb
+		}
+	}
+	return n, nil
+}
+
+// StreamEdgesParallel streams all shards concurrently, one goroutine per
+// shard, delivering each shard to the sink returned by sinkFor(shard).
+// Sinks are used from exactly one goroutine each; a non-nil error from any
+// sink aborts that shard and is returned (first error wins).
+func (p *Product) StreamEdgesParallel(nshards int, sinkFor func(shard int) func(v, w int) error) error {
+	if nshards <= 0 {
+		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	}
+	errs := make([]error, nshards)
+	var wg sync.WaitGroup
+	for s := 0; s < nshards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sink := sinkFor(s)
+			var sinkErr error
+			argErr := p.EachEdgeShard(s, nshards, func(v, w int) bool {
+				if err := sink(v, w); err != nil {
+					sinkErr = err
+					return false
+				}
+				return true
+			})
+			if argErr != nil {
+				errs[s] = argErr
+			} else {
+				errs[s] = sinkErr
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

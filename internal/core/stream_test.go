@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+func collectEdges(p *Product) []graph.Edge {
+	var out []graph.Edge
+	p.EachEdge(func(v, w int) bool {
+		if v > w {
+			v, w = w, v
+		}
+		out = append(out, graph.Edge{U: v, V: w})
+		return true
+	})
+	sortEdges(out)
+	return out
+}
+
+func sortEdges(e []graph.Edge) {
+	sort.Slice(e, func(a, b int) bool {
+		if e[a].U != e[b].U {
+			return e[a].U < e[b].U
+		}
+		return e[a].V < e[b].V
+	})
+}
+
+func testProducts(t *testing.T) map[string]*Product {
+	t.Helper()
+	p1, err := New(gen.Complete(3), gen.Cycle(6), ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(gen.Star(4), gen.Crown(3).Graph, ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Product{"mode1": p1, "mode2": p2}
+}
+
+func TestEachEdgeShardPartition(t *testing.T) {
+	for name, p := range testProducts(t) {
+		want := collectEdges(p)
+		for _, nshards := range []int{1, 2, 3, 7, 1000} {
+			var got []graph.Edge
+			seen := map[graph.Edge]bool{}
+			for s := 0; s < nshards; s++ {
+				if err := p.EachEdgeShard(s, nshards, func(v, w int) bool {
+					if v > w {
+						v, w = w, v
+					}
+					e := graph.Edge{U: v, V: w}
+					if seen[e] {
+						t.Fatalf("%s nshards=%d: edge %v in two shards", name, nshards, e)
+					}
+					seen[e] = true
+					got = append(got, e)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sortEdges(got)
+			if len(got) != len(want) {
+				t.Fatalf("%s nshards=%d: %d edges, want %d", name, nshards, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s nshards=%d: edge sets differ at %d", name, nshards, i)
+				}
+			}
+		}
+	}
+}
+
+func TestShardEdgeCount(t *testing.T) {
+	for name, p := range testProducts(t) {
+		for _, nshards := range []int{1, 2, 5} {
+			var total int64
+			for s := 0; s < nshards; s++ {
+				want, err := p.ShardEdgeCount(s, nshards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var n int64
+				if err := p.EachEdgeShard(s, nshards, func(_, _ int) bool { n++; return true }); err != nil {
+					t.Fatal(err)
+				}
+				if n != want {
+					t.Fatalf("%s shard %d/%d: counted %d, ShardEdgeCount says %d", name, s, nshards, n, want)
+				}
+				total += n
+			}
+			if total != p.NumEdges() {
+				t.Fatalf("%s nshards=%d: shards total %d, want %d", name, nshards, total, p.NumEdges())
+			}
+		}
+	}
+}
+
+func TestEachEdgeShardValidation(t *testing.T) {
+	p := testProducts(t)["mode1"]
+	if err := p.EachEdgeShard(0, 0, func(_, _ int) bool { return true }); err == nil {
+		t.Fatal("accepted nshards=0")
+	}
+	if err := p.EachEdgeShard(3, 3, func(_, _ int) bool { return true }); err == nil {
+		t.Fatal("accepted shard out of range")
+	}
+	if _, err := p.ShardEdgeCount(-1, 2); err == nil {
+		t.Fatal("ShardEdgeCount accepted negative shard")
+	}
+	if _, err := p.ShardEdgeCount(0, 0); err == nil {
+		t.Fatal("ShardEdgeCount accepted nshards=0")
+	}
+}
+
+func TestEachEdgeShardEarlyStop(t *testing.T) {
+	p := testProducts(t)["mode2"]
+	n := 0
+	if err := p.EachEdgeShard(0, 1, func(_, _ int) bool {
+		n++
+		return n < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop streamed %d, want 3", n)
+	}
+}
+
+func TestStreamEdgesParallel(t *testing.T) {
+	for name, p := range testProducts(t) {
+		const nshards = 4
+		var mu sync.Mutex
+		perShard := make([][]graph.Edge, nshards)
+		err := p.StreamEdgesParallel(nshards, func(s int) func(v, w int) error {
+			return func(v, w int) error {
+				if v > w {
+					v, w = w, v
+				}
+				mu.Lock()
+				perShard[s] = append(perShard[s], graph.Edge{U: v, V: w})
+				mu.Unlock()
+				return nil
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []graph.Edge
+		for _, s := range perShard {
+			got = append(got, s...)
+		}
+		sortEdges(got)
+		want := collectEdges(p)
+		if len(got) != len(want) {
+			t.Fatalf("%s: parallel stream %d edges, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: parallel stream differs at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestStreamEdgesParallelSinkError(t *testing.T) {
+	p := testProducts(t)["mode1"]
+	boom := fmt.Errorf("sink exploded")
+	err := p.StreamEdgesParallel(3, func(s int) func(v, w int) error {
+		n := 0
+		return func(_, _ int) error {
+			n++
+			if s == 1 && n == 5 {
+				return boom
+			}
+			return nil
+		}
+	})
+	if err != boom {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if err := p.StreamEdgesParallel(0, nil); err == nil {
+		t.Fatal("accepted nshards=0")
+	}
+}

@@ -1,0 +1,119 @@
+package dist
+
+import (
+	"testing"
+
+	"kronbip/internal/core"
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+)
+
+func products(t *testing.T) map[string]*core.Product {
+	t.Helper()
+	p1, err := core.New(gen.Petersen(), gen.Crown(3).Graph, core.ModeNonBipartiteFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.New(gen.Hypercube(3), gen.CompleteBipartite(2, 3).Graph, core.ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*core.Product{"mode1": p1, "mode2": p2}
+}
+
+func TestGenerateMatchesCore(t *testing.T) {
+	for name, p := range products(t) {
+		for _, ranks := range []int{1, 2, 3, 8} {
+			res, err := Generate(p, ranks)
+			if err != nil {
+				t.Fatalf("%s ranks=%d: %v", name, ranks, err)
+			}
+			if res.TotalEdges != p.NumEdges() {
+				t.Fatalf("%s ranks=%d: edges %d, want %d", name, ranks, res.TotalEdges, p.NumEdges())
+			}
+			if res.GlobalFour != p.GlobalFourCycles() {
+				t.Fatalf("%s ranks=%d: □ %d, want %d", name, ranks, res.GlobalFour, p.GlobalFourCycles())
+			}
+			if res.GlobalFour != res.GlobalFourE {
+				t.Fatalf("%s ranks=%d: vertex route %d != edge route %d", name, ranks, res.GlobalFour, res.GlobalFourE)
+			}
+			if res.TotalDegree != 2*p.NumEdges() {
+				t.Fatalf("%s ranks=%d: Σdeg %d, want %d", name, ranks, res.TotalDegree, 2*p.NumEdges())
+			}
+		}
+	}
+}
+
+func TestGenerateMatchesBruteForce(t *testing.T) {
+	p := products(t)["mode2"]
+	res, err := Generate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := p.Materialize(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := count.GlobalButterflies(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GlobalFour != brute {
+		t.Fatalf("distributed □ = %d, brute force %d", res.GlobalFour, brute)
+	}
+}
+
+func TestShardPartition(t *testing.T) {
+	p := products(t)["mode1"]
+	res, err := Generate(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 5 {
+		t.Fatalf("shards = %d, want 5", len(res.Shards))
+	}
+	// Vertex ranges tile [0, n) in rank order without gaps.
+	prev := 0
+	for _, s := range res.Shards {
+		if s.VertexLo != prev {
+			t.Fatalf("rank %d starts at %d, want %d", s.Rank, s.VertexLo, prev)
+		}
+		prev = s.VertexHi
+	}
+	if prev != p.N() {
+		t.Fatalf("ranges end at %d, want %d", prev, p.N())
+	}
+}
+
+func TestGenerateRanksClampAndErrors(t *testing.T) {
+	p := products(t)["mode1"]
+	if _, err := Generate(p, 0); err == nil {
+		t.Fatal("accepted zero ranks")
+	}
+	// More ranks than vertices clamps rather than spawning empty workers.
+	res, err := Generate(p, p.N()+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranks != p.N() {
+		t.Fatalf("ranks = %d, want clamp to %d", res.Ranks, p.N())
+	}
+	if res.GlobalFour != p.GlobalFourCycles() {
+		t.Fatal("clamped run wrong")
+	}
+}
+
+func TestGenerateDeterministicAcrossRankCounts(t *testing.T) {
+	p := products(t)["mode2"]
+	r1, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, err := Generate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.GlobalFour != r7.GlobalFour || r1.TotalEdges != r7.TotalEdges || r1.MaxVertexFour != r7.MaxVertexFour {
+		t.Fatal("reductions differ across rank counts")
+	}
+}

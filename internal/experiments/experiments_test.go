@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTableISmallSamples(t *testing.T) {
+	res, err := RunTableI(2020, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid() {
+		t.Fatalf("Table I validation failed:\n%s", res)
+	}
+	// Structural facts that must match the paper's construction exactly.
+	if res.Factor.NU != 254 || res.Factor.NW != 614 || res.Factor.Edges != 1256 {
+		t.Fatalf("factor shape wrong: %+v", res.Factor)
+	}
+	nA := 254 + 614
+	if res.Product.NU != nA*254 || res.Product.NW != nA*614 {
+		t.Fatalf("product part sizes wrong: %+v", res.Product)
+	}
+	wantEdges := int64(2*1256+nA) * 1256
+	if res.Product.Edges != wantEdges {
+		t.Fatalf("product edges %d, want %d", res.Product.Edges, wantEdges)
+	}
+	if res.Product.GlobalFour <= res.Factor.GlobalFour {
+		t.Fatal("product should have vastly more 4-cycles than the factor")
+	}
+	if !strings.Contains(res.String(), "Table I") {
+		t.Fatal("String() missing caption")
+	}
+}
+
+func TestRunTableINoSamplesSkipsMaterialize(t *testing.T) {
+	res, err := RunTableI(2020, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaterializeTime != 0 || res.SampledVertices != 0 {
+		t.Fatal("samples=0 should skip materialization")
+	}
+	if !res.EdgeSumConsistent {
+		t.Fatal("edge-sum identity must hold regardless of sampling")
+	}
+}
+
+func TestRunFig5(t *testing.T) {
+	res, err := RunFig5(2020)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FactorPoints) != 868 {
+		t.Fatalf("factor points = %d, want 868", len(res.FactorPoints))
+	}
+	if len(res.ProductPoints) != 868*868 {
+		t.Fatalf("product points = %d, want %d", len(res.ProductPoints), 868*868)
+	}
+	if len(res.ProductBinned) == 0 || len(res.FactorBinned) == 0 {
+		t.Fatal("binned summaries empty")
+	}
+	// The product's heavy tail must dominate the factor's.
+	if maxFour(res.ProductPoints) <= maxFour(res.FactorPoints) {
+		t.Fatal("product tail not amplified")
+	}
+	// Monotone-ish shape: the top product bin should out-count the bottom.
+	top := res.ProductBinned[len(res.ProductBinned)-1]
+	bottom := res.ProductBinned[0]
+	if top.MedianFour <= bottom.MedianFour {
+		t.Fatalf("degree-4cycle correlation missing: top median %.1f <= bottom %.1f", top.MedianFour, bottom.MedianFour)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(buf.String(), "\n", 2)[0]
+	if header != "factor_degree\tfactor_4cycles\tproduct_degree\tproduct_4cycles" {
+		t.Fatalf("TSV header = %q", header)
+	}
+	// Zero mapping: no literal zeros in the 4-cycle columns.
+	if strings.Contains(buf.String(), "\t0\n") {
+		t.Fatal("zeros not mapped to 0.1 in TSV")
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	res, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid() {
+		t.Fatalf("Fig. 1 outcomes wrong:\n%s", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunFormulaValidation(t *testing.T) {
+	res, err := RunFormulaValidation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid() {
+		t.Fatalf("formula validation failed:\n%s", res)
+	}
+	if len(res.Cases) != 10 {
+		t.Fatalf("cases = %d, want 10", len(res.Cases))
+	}
+}
+
+func TestRunClusteringLaw(t *testing.T) {
+	res, err := RunClusteringLaw(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BoundOK {
+		t.Fatalf("Thm 6 bound violated:\n%s", res)
+	}
+	if res.NontrivialAt == 0 {
+		t.Fatal("no nontrivial bounds exercised")
+	}
+	if res.PsiMin < 1.0/9-1e-12 || res.PsiMax >= 1 {
+		t.Fatalf("ψ range [%g,%g] outside [1/9,1)", res.PsiMin, res.PsiMax)
+	}
+	if res.MinSlack < 0 {
+		t.Fatal("negative slack")
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunCommunity(t *testing.T) {
+	res, err := RunCommunity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FormulasExact {
+		t.Fatalf("Thm 7 formulas inexact:\n%s", res)
+	}
+	if !res.BoundsHold {
+		t.Fatalf("Cor 1/2 bounds violated:\n%s", res)
+	}
+	if !res.DensityPreserved {
+		t.Fatalf("planted community not preserved:\n%s", res)
+	}
+	if math.IsNaN(res.RhoInProduct) {
+		t.Fatal("NaN density")
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunRemark1(t *testing.T) {
+	res, err := RunRemark1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Valid() {
+		t.Fatalf("Remark 1 demo failed:\n%s", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunScalingSmall(t *testing.T) {
+	res, err := RunScaling(3, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for i, p := range res.Points {
+		if p.GroundTruthVal != p.DirectVal {
+			t.Fatalf("step %d: truth %d != direct %d", i, p.GroundTruthVal, p.DirectVal)
+		}
+	}
+	// Product sizes must grow geometrically.
+	if res.Points[2].ProductEdges <= res.Points[0].ProductEdges {
+		t.Fatal("scaling steps did not grow")
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	res, err := RunBaselines(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	if !res.Rows[0].ExactTruth || res.Rows[1].ExactTruth || res.Rows[2].ExactTruth {
+		t.Fatal("exact-truth flags wrong")
+	}
+	// The Kronecker generator's count must be available much faster than
+	// brute counting at comparable scale — it is closed form.
+	if res.Rows[0].FourTime > res.Rows[1].FourTime && res.Rows[0].FourTime > res.Rows[2].FourTime {
+		t.Fatalf("closed-form truth slower than both counting passes:\n%s", res)
+	}
+	if res.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"kronbip/internal/approx"
+	"kronbip/internal/bter"
+	"kronbip/internal/core"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+	"kronbip/internal/mmio"
+	"kronbip/internal/rmat"
+	"kronbip/internal/stats"
+)
+
+// --- EXP-ECC: distance ground truth ("degree, diameter, and eccentricity
+// carry over directly from previous work", §I / abstract) ---
+
+// DistanceCase is one factor pair with formula-vs-BFS distance results.
+type DistanceCase struct {
+	Name           string
+	Mode           core.Mode
+	ProductN       int
+	DiameterTruth  int
+	DiameterBFS    int
+	EccMismatches  int
+	HopsChecked    int
+	HopsMismatches int
+	TruthTime      time.Duration
+	BFSTime        time.Duration
+}
+
+// DistanceResult validates hops/eccentricity/diameter formulas.
+type DistanceResult struct {
+	Cases []DistanceCase
+}
+
+// RunDistances sweeps strict factor pairs in both modes.
+func RunDistances() (*DistanceResult, error) {
+	specs := []struct {
+		name string
+		a, b *graph.Graph
+		mode core.Mode
+	}{
+		{"K3 ⊗ P6", gen.Complete(3), gen.Path(6), core.ModeNonBipartiteFactor},
+		{"C5 ⊗ C8", gen.Cycle(5), gen.Cycle(8), core.ModeNonBipartiteFactor},
+		{"Petersen ⊗ tree", gen.Petersen(), gen.BinaryTree(4), core.ModeNonBipartiteFactor},
+		{"(P5+I) ⊗ P7", gen.Path(5), gen.Path(7), core.ModeSelfLoopFactor},
+		{"(C6+I) ⊗ grid(3,4)", gen.Cycle(6), gen.Grid(3, 4), core.ModeSelfLoopFactor},
+		{"(star6+I) ⊗ Q4", gen.Star(6), gen.Hypercube(4), core.ModeSelfLoopFactor},
+	}
+	res := &DistanceResult{}
+	for _, s := range specs {
+		p, err := core.New(s.a, s.b, s.mode)
+		if err != nil {
+			return nil, fmt.Errorf("distances %s: %w", s.name, err)
+		}
+		c := DistanceCase{Name: s.name, Mode: s.mode, ProductN: p.N()}
+
+		start := time.Now()
+		c.DiameterTruth, err = p.Diameter()
+		if err != nil {
+			return nil, err
+		}
+		eccTruth := make([]int, p.N())
+		for v := 0; v < p.N(); v++ {
+			eccTruth[v], err = p.EccentricityAt(v)
+			if err != nil {
+				return nil, err
+			}
+		}
+		c.TruthTime = time.Since(start)
+
+		start = time.Now()
+		g, err := p.Materialize(0)
+		if err != nil {
+			return nil, err
+		}
+		c.DiameterBFS = g.Diameter()
+		for v := 0; v < p.N(); v++ {
+			if g.Eccentricity(v) != eccTruth[v] {
+				c.EccMismatches++
+			}
+			dist := g.BFS(v)
+			for w := 0; w < p.N(); w++ {
+				h, ok := p.HopsAt(v, w)
+				c.HopsChecked++
+				if !ok || h != dist[w] {
+					c.HopsMismatches++
+				}
+			}
+		}
+		c.BFSTime = time.Since(start)
+		res.Cases = append(res.Cases, c)
+	}
+	return res, nil
+}
+
+func (r *DistanceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distance ground truth — hops/eccentricity/diameter formulas vs all-pairs BFS\n")
+	fmt.Fprintf(&b, "%-22s %-26s %6s %10s %9s %10s %10s %12s %12s\n",
+		"factors", "mode", "n", "diam (gt)", "diam BFS", "ecc bad", "hops bad", "truth time", "BFS time")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "%-22s %-26s %6d %10d %9d %10d %10d %12v %12v\n",
+			c.Name, c.Mode, c.ProductN, c.DiameterTruth, c.DiameterBFS, c.EccMismatches, c.HopsMismatches, c.TruthTime, c.BFSTime)
+	}
+	return b.String()
+}
+
+// Valid reports whether every distance statistic matched.
+func (r *DistanceResult) Valid() bool {
+	for _, c := range r.Cases {
+		if c.DiameterTruth != c.DiameterBFS || c.EccMismatches > 0 || c.HopsMismatches > 0 {
+			return false
+		}
+	}
+	return len(r.Cases) > 0
+}
+
+// --- EXP-DEG: degree-distribution ground truth and baseline shapes ---
+
+// DegreeRow summarizes one graph's degree distribution.
+type DegreeRow struct {
+	Name      string
+	N         int64
+	MaxDegree int64
+	MeanDeg   float64
+	Gini      float64
+	Alpha     float64 // power-law tail MLE (0 when tail too thin)
+	TailN     int64
+	Exact     bool // histogram obtained in closed form (no graph touched)
+}
+
+// DegreeResult compares the product's exact degree distribution with the
+// stochastic baselines' empirical ones.
+type DegreeResult struct {
+	Rows []DegreeRow
+	// HistogramMatches records that the closed-form product histogram was
+	// cross-checked against a materialized product at reduced scale.
+	HistogramMatches bool
+	// ProductHist and FactorHist back WriteCCDFTSV.
+	ProductHist stats.Histogram
+	FactorHist  stats.Histogram
+}
+
+// RunDegrees builds the Table I product's exact histogram, a reduced-scale
+// cross-check, and baseline comparisons.
+func RunDegrees(seed int64) (*DegreeResult, error) {
+	res := &DegreeResult{}
+	row := func(name string, h stats.Histogram, exact bool) DegreeRow {
+		r := DegreeRow{
+			Name: name, N: h.Total(), MaxDegree: h.Max(),
+			MeanDeg: h.Mean(), Gini: h.Gini(), Exact: exact,
+		}
+		if alpha, tailN, err := h.PowerLawAlphaMLE(4); err == nil {
+			r.Alpha, r.TailN = alpha, tailN
+		}
+		return r
+	}
+
+	// Exact product histogram, full Table I scale, closed form.
+	a := gen.UnicodeLike(seed)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		return nil, err
+	}
+	res.ProductHist = stats.Histogram(p.DegreeHistogram())
+	res.FactorHist = stats.FromValues(a.Degrees())
+	res.Rows = append(res.Rows, row("kronecker C (exact)", res.ProductHist, true))
+	res.Rows = append(res.Rows, row("factor A", res.FactorHist, false))
+
+	// Reduced-scale cross-check of the closed form.
+	small := gen.BipartiteScaleFree(40, 80, 200, seed)
+	sp, err := core.NewRelaxedWithParts(small.Graph, small, core.ModeSelfLoopFactor)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := sp.Materialize(0)
+	if err != nil {
+		return nil, err
+	}
+	res.HistogramMatches = stats.Histogram(sp.DegreeHistogram()).Equal(stats.FromValues(sg.Degrees()))
+
+	// Baselines at comparable sizes.
+	rb, err := rmat.Generate(rmat.DefaultParams(10, 11, 8000, seed))
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row("bipartite R-MAT", stats.FromValues(rb.Degrees()), false))
+	bb, err := bter.Generate(bter.Params{
+		DegreesU:      bter.HeavyTailDegrees(1024, 60, 2, seed),
+		DegreesW:      bter.HeavyTailDegrees(2048, 40, 2, seed+1),
+		BlockFraction: 0.6,
+		BlockDensity:  0.8,
+		Seed:          seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, row("bipartite BTER", stats.FromValues(bb.Degrees()), false))
+	return res, nil
+}
+
+// WriteCCDFTSV emits the exact product degree CCDF (the log-log tail plot)
+// alongside the factor's, for external plotting.
+func (r *DegreeResult) WriteCCDFTSV(w io.Writer) error {
+	mk := func(h stats.Histogram) (deg, frac []float64) {
+		for _, pt := range h.CCDF() {
+			deg = append(deg, float64(pt.V))
+			frac = append(frac, pt.Frac)
+		}
+		return deg, frac
+	}
+	pd, pf := mk(r.ProductHist)
+	fd, ff := mk(r.FactorHist)
+	return mmio.WriteSeriesTSV(w,
+		mmio.Series{Name: "product_degree", Values: pd},
+		mmio.Series{Name: "product_ccdf", Values: pf},
+		mmio.Series{Name: "factor_degree", Values: fd},
+		mmio.Series{Name: "factor_ccdf", Values: ff},
+	)
+}
+
+func (r *DegreeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Degree distributions — exact Kronecker ground truth vs baselines\n")
+	fmt.Fprintf(&b, "%-22s %10s %8s %8s %7s %7s %8s %6s\n", "graph", "vertices", "maxdeg", "mean", "Gini", "α", "tail n", "exact")
+	for _, row := range r.Rows {
+		alpha := "-"
+		if row.Alpha > 0 {
+			alpha = fmt.Sprintf("%.2f", row.Alpha)
+		}
+		fmt.Fprintf(&b, "%-22s %10d %8d %8.2f %7.3f %7s %8d %6v\n",
+			row.Name, row.N, row.MaxDegree, row.MeanDeg, row.Gini, alpha, row.TailN, row.Exact)
+	}
+	fmt.Fprintf(&b, "closed-form histogram matches materialized product at reduced scale: %v\n", r.HistogramMatches)
+	return b.String()
+}
+
+// --- EXP-APPROX: grading approximate counters against ground truth ---
+
+// ApproxPoint is one (estimator, sample size) grading outcome, averaged
+// over several seeds.
+type ApproxPoint struct {
+	Estimator    string
+	Samples      int
+	MeanRelErr   float64
+	WorstRelErr  float64
+	MeanEstimate float64
+}
+
+// ApproxResult grades the package approx estimators against exact
+// Kronecker ground truth on a product graph — the error should shrink as
+// samples grow, and the ground truth makes the grading airtight.
+type ApproxResult struct {
+	Truth  int64
+	Graph  string
+	Points []ApproxPoint
+}
+
+// RunApprox grades all three estimators at several sample sizes on a
+// mid-scale product.
+func RunApprox(seed int64) (*ApproxResult, error) {
+	a := gen.ConnectedBipartiteScaleFree(60, 120, 300, seed)
+	p, err := core.NewRelaxedWithParts(a.Graph, a, core.ModeSelfLoopFactor)
+	if err != nil {
+		return nil, err
+	}
+	g, err := p.Materialize(0)
+	if err != nil {
+		return nil, err
+	}
+	truth := p.GlobalFourCycles()
+	res := &ApproxResult{Truth: truth, Graph: fmt.Sprintf("(A+I)⊗A, n=%d m=%d", p.N(), p.NumEdges())}
+
+	estimators := []struct {
+		name string
+		fn   func(*graph.Graph, int, int64) (approx.Estimate, error)
+	}{
+		{"vertex", approx.VertexSample},
+		{"edge", approx.EdgeSample},
+		{"wedge", approx.WedgeSample},
+	}
+	const runs = 5
+	for _, est := range estimators {
+		for _, samples := range []int{100, 1000, 10000} {
+			pt := ApproxPoint{Estimator: est.name, Samples: samples}
+			for r := int64(0); r < runs; r++ {
+				e, err := est.fn(g, samples, seed+r)
+				if err != nil {
+					return nil, err
+				}
+				rel := e.RelativeError(truth)
+				pt.MeanRelErr += rel
+				pt.MeanEstimate += e.Value
+				if rel > pt.WorstRelErr {
+					pt.WorstRelErr = rel
+				}
+			}
+			pt.MeanRelErr /= runs
+			pt.MeanEstimate /= runs
+			res.Points = append(res.Points, pt)
+		}
+	}
+	sort.SliceStable(res.Points, func(i, j int) bool {
+		if res.Points[i].Estimator != res.Points[j].Estimator {
+			return res.Points[i].Estimator < res.Points[j].Estimator
+		}
+		return res.Points[i].Samples < res.Points[j].Samples
+	})
+	return res, nil
+}
+
+func (r *ApproxResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Approximate 4-cycle counting graded against exact ground truth\n")
+	fmt.Fprintf(&b, "graph: %s, □ (ground truth) = %d\n", r.Graph, r.Truth)
+	fmt.Fprintf(&b, "%-10s %9s %14s %12s %12s\n", "estimator", "samples", "mean estimate", "mean relerr", "worst relerr")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-10s %9d %14.0f %11.2f%% %11.2f%%\n",
+			pt.Estimator, pt.Samples, pt.MeanEstimate, 100*pt.MeanRelErr, 100*pt.WorstRelErr)
+	}
+	return b.String()
+}
+
+// Valid checks the expected shape: for every estimator the mean error at
+// the largest sample size is below 20% and not worse than 2x the error at
+// the smallest (sampling noise allows slight non-monotonicity).
+func (r *ApproxResult) Valid() bool {
+	byEst := map[string][]ApproxPoint{}
+	for _, pt := range r.Points {
+		byEst[pt.Estimator] = append(byEst[pt.Estimator], pt)
+	}
+	for _, pts := range byEst {
+		first, last := pts[0], pts[len(pts)-1]
+		if last.MeanRelErr > 0.20 {
+			return false
+		}
+		if last.MeanRelErr > 2*first.MeanRelErr+0.02 {
+			return false
+		}
+	}
+	return len(byEst) == 3
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunAllAndWriteMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	r, err := RunAll(2020, 20, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Valid() {
+		t.Fatal("full run reported invalid results")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"# EXPERIMENTS",
+		"EXP-T1", "EXP-F1", "EXP-F5", "EXP-THM3/4/5", "EXP-THM6",
+		"EXP-THM7", "EXP-REM1", "EXP-SCALE", "EXP-BASE", "EXP-ECC",
+		"EXP-DEG", "EXP-DIST", "EXP-APPROX",
+		"Reading the numbers against the paper",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md, "✗") {
+		t.Fatal("markdown contains a failure marker")
+	}
+}

@@ -1,0 +1,184 @@
+// Package gen constructs the small factor graphs that feed the Kronecker
+// generator: deterministic families (paths, cycles, stars, bicliques,
+// crowns, grids, trees), seeded scale-free factors with heavy-tail degree
+// distributions, and UnicodeLike, the synthetic stand-in for the Konect
+// `unicode` dataset used in the paper's §IV experiment.
+package gen
+
+import (
+	"fmt"
+
+	"kronbip/internal/graph"
+)
+
+// Path returns the path graph P_n (bipartite, connected for n >= 1).
+func Path(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: i + 1})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Cycle returns the cycle graph C_n; bipartite iff n is even.  n >= 3.
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("gen: Cycle(%d): need n >= 3", n))
+	}
+	edges := make([]graph.Edge, 0, n)
+	for i := 0; i < n; i++ {
+		edges = append(edges, graph.Edge{U: i, V: (i + 1) % n})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Star returns the star K_{1,n-1} with center 0 (bipartite, connected).
+func Star(n int) *graph.Graph {
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Complete returns the complete graph K_n (non-bipartite for n >= 3).
+func Complete(n int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// CompleteBipartite returns the biclique K_{nu,nw} with U = [0,nu).
+func CompleteBipartite(nu, nw int) *graph.Bipartite {
+	pairs := make([][2]int, 0, nu*nw)
+	for u := 0; u < nu; u++ {
+		for w := 0; w < nw; w++ {
+			pairs = append(pairs, [2]int{u, w})
+		}
+	}
+	b, err := graph.NewBipartite(nu, nw, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Crown returns the crown graph S_n^0: K_{n,n} minus a perfect matching
+// (bipartite, connected for n >= 3, 4-cycle rich).
+func Crown(n int) *graph.Bipartite {
+	var pairs [][2]int
+	for u := 0; u < n; u++ {
+		for w := 0; w < n; w++ {
+			if u != w {
+				pairs = append(pairs, [2]int{u, w})
+			}
+		}
+	}
+	b, err := graph.NewBipartite(n, n, pairs)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Grid returns the r-by-c grid graph (bipartite, connected).
+func Grid(r, c int) *graph.Graph {
+	var edges []graph.Edge
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i, j+1)})
+			}
+			if i+1 < r {
+				edges = append(edges, graph.Edge{U: id(i, j), V: id(i+1, j)})
+			}
+		}
+	}
+	return graph.MustNew(r*c, edges)
+}
+
+// BinaryTree returns the complete binary tree with the given number of
+// levels (bipartite, connected, 4-cycle free).
+func BinaryTree(levels int) *graph.Graph {
+	n := (1 << levels) - 1
+	var edges []graph.Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: (v - 1) / 2, V: v})
+	}
+	return graph.MustNew(n, edges)
+}
+
+// Petersen returns the Petersen graph (non-bipartite, connected, girth 5 —
+// triangle- and 4-cycle-free, a useful Thm 3 "A" factor).
+func Petersen() *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < 5; i++ {
+		edges = append(edges,
+			graph.Edge{U: i, V: (i + 1) % 5},     // outer cycle
+			graph.Edge{U: i, V: i + 5},           // spokes
+			graph.Edge{U: i + 5, V: (i+2)%5 + 5}, // inner pentagram
+		)
+	}
+	return graph.MustNew(10, edges)
+}
+
+// Lollipop returns a cycle C_c with a path of p extra vertices attached at
+// vertex 0.  With odd c it is a small connected non-bipartite factor.
+func Lollipop(c, p int) *graph.Graph {
+	g := make([]graph.Edge, 0, c+p)
+	for i := 0; i < c; i++ {
+		g = append(g, graph.Edge{U: i, V: (i + 1) % c})
+	}
+	prev := 0
+	for i := 0; i < p; i++ {
+		g = append(g, graph.Edge{U: prev, V: c + i})
+		prev = c + i
+	}
+	return graph.MustNew(c+p, g)
+}
+
+// DisjointUnion returns the disjoint union of two graphs, with the second
+// graph's vertices shifted by g1.N().
+func DisjointUnion(g1, g2 *graph.Graph) *graph.Graph {
+	n1 := g1.N()
+	edges := g1.Edges()
+	for _, e := range g2.Edges() {
+		edges = append(edges, graph.Edge{U: e.U + n1, V: e.V + n1})
+	}
+	return graph.MustNew(n1+g2.N(), edges)
+}
+
+// DoubleStar returns two stars of sizes a and b joined by an edge between
+// their centers (bipartite, connected, 4-cycle free).
+func DoubleStar(a, b int) *graph.Graph {
+	var edges []graph.Edge
+	for i := 1; i <= a; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: 1 + i})
+	}
+	for i := 1; i <= b; i++ {
+		edges = append(edges, graph.Edge{U: 1, V: 1 + a + i})
+	}
+	edges = append(edges, graph.Edge{U: 0, V: 1})
+	return graph.MustNew(2+a+b, edges)
+}
+
+// Hypercube returns the d-dimensional hypercube graph Q_d (bipartite,
+// connected, vertex-transitive, 4-cycle rich).
+func Hypercube(d int) *graph.Graph {
+	n := 1 << d
+	var edges []graph.Edge
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			w := v ^ (1 << bit)
+			if v < w {
+				edges = append(edges, graph.Edge{U: v, V: w})
+			}
+		}
+	}
+	return graph.MustNew(n, edges)
+}

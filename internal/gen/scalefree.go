@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"math/rand"
+
+	"kronbip/internal/graph"
+)
+
+// ScaleFree returns a connected non-bipartite graph on n vertices built by
+// Barabási–Albert preferential attachment with m edges per arriving vertex.
+// The seed makes generation deterministic.  The initial clique K_{m+1}
+// guarantees triangles, so the result is non-bipartite — the shape the
+// paper's Assumption 1(i) requires of factor A.
+func ScaleFree(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		panic("gen: ScaleFree requires m >= 1")
+	}
+	if n < m+2 {
+		panic("gen: ScaleFree requires n >= m+2")
+	}
+	if m == 1 {
+		// Force a triangle so the factor is non-bipartite even with m=1.
+		return scaleFreeFrom(n, m, seed, Complete(3))
+	}
+	return scaleFreeFrom(n, m, seed, Complete(m+1))
+}
+
+func scaleFreeFrom(n, m int, seed int64, core *graph.Graph) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	edges := core.Edges()
+	// repeated holds each endpoint once per incident edge; sampling from it
+	// is sampling proportionally to degree.
+	var repeated []int
+	for _, e := range edges {
+		repeated = append(repeated, e.U, e.V)
+	}
+	for v := core.N(); v < n; v++ {
+		seen := map[int]bool{}
+		chosen := make([]int, 0, m) // ordered: map iteration would break seed determinism
+		for len(chosen) < m {
+			t := repeated[rng.Intn(len(repeated))]
+			if !seen[t] {
+				seen[t] = true
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			edges = append(edges, graph.Edge{U: v, V: t})
+			repeated = append(repeated, v, t)
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+// BipartiteScaleFree returns a bipartite graph with nu left and nw right
+// vertices and approximately targetEdges edges, grown by bipartite
+// preferential attachment: each new edge picks its endpoints proportionally
+// to (degree + 1) on each side, which produces the heavy-tail degree
+// profile typical of term–document and user–item data.  The graph may be
+// disconnected (as the paper's unicode factor is); isolated vertices are
+// possible on either side.
+func BipartiteScaleFree(nu, nw, targetEdges int, seed int64) *graph.Bipartite {
+	rng := rand.New(rand.NewSource(seed))
+	degU := make([]int, nu)
+	degW := make([]int, nw)
+	seen := map[[2]int]bool{}
+	var pairs [][2]int
+
+	// Weighted sampling by (deg+1) via cumulative inverse transform on the
+	// fly: total weight = sum(deg) + n.
+	sample := func(deg []int, totalDeg int) int {
+		t := rng.Intn(totalDeg + len(deg))
+		for i, d := range deg {
+			t -= d + 1
+			if t < 0 {
+				return i
+			}
+		}
+		return len(deg) - 1
+	}
+
+	totalU, totalW := 0, 0
+	attempts := 0
+	for len(pairs) < targetEdges && attempts < 50*targetEdges {
+		attempts++
+		u := sample(degU, totalU)
+		w := sample(degW, totalW)
+		if seen[[2]int{u, w}] {
+			continue
+		}
+		seen[[2]int{u, w}] = true
+		pairs = append(pairs, [2]int{u, w})
+		degU[u]++
+		degW[w]++
+		totalU++
+		totalW++
+	}
+	b, err := graph.NewBipartite(nu, nw, pairs)
+	if err != nil {
+		panic(err) // pairs are in range by construction
+	}
+	return b
+}
+
+// ConnectedBipartiteScaleFree is BipartiteScaleFree followed by a stitching
+// pass that connects every component to the largest one with a single extra
+// edge, yielding a connected bipartite factor (the shape Assumption 1
+// requires of factor B).
+func ConnectedBipartiteScaleFree(nu, nw, targetEdges int, seed int64) *graph.Bipartite {
+	b := BipartiteScaleFree(nu, nw, targetEdges, seed)
+	label, count := b.ConnectedComponents()
+	if count == 1 {
+		return b
+	}
+	// Representative U- and W-side vertices per component.
+	repU := make([]int, count)
+	repW := make([]int, count)
+	for i := range repU {
+		repU[i], repW[i] = -1, -1
+	}
+	size := make([]int, count)
+	for v, c := range label {
+		size[c]++
+		if b.Part.Color[v] == graph.SideU && repU[c] == -1 {
+			repU[c] = v
+		}
+		if b.Part.Color[v] == graph.SideW && repW[c] == -1 {
+			repW[c] = v
+		}
+	}
+	largest := 0
+	for c, s := range size {
+		if s > size[largest] {
+			largest = c
+		}
+	}
+	pairs := make([][2]int, 0, b.NumEdges()+count)
+	for _, e := range b.Edges() {
+		u, w := e.U, e.V
+		if b.Part.Color[u] == graph.SideW {
+			u, w = w, u
+		}
+		pairs = append(pairs, [2]int{u, w - b.NU()})
+	}
+	for c := 0; c < count; c++ {
+		if c == largest {
+			continue
+		}
+		// Connect a U vertex of c to a W vertex of the largest component,
+		// or vice versa; at least one side of each component is non-empty.
+		switch {
+		case repU[c] != -1 && repW[largest] != -1:
+			pairs = append(pairs, [2]int{repU[c], repW[largest] - b.NU()})
+		case repW[c] != -1 && repU[largest] != -1:
+			pairs = append(pairs, [2]int{repU[largest], repW[c] - b.NU()})
+		}
+	}
+	nb, err := graph.NewBipartite(b.NU(), b.NW(), pairs)
+	if err != nil {
+		panic(err)
+	}
+	return nb
+}

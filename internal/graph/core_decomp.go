@@ -1,0 +1,95 @@
+package graph
+
+// k-core decomposition and degeneracy.  The paper's introduction quotes
+// the Alon–Yuster–Zwick bounds for 4-cycle detection, O(E·δ(G)) with δ the
+// degeneracy, "an O(E^{1/2}) quantity" — this file provides δ and the core
+// numbers so counting strategies can exploit them.
+
+// CoreNumbers returns the k-core number of every vertex (the largest k
+// such that the vertex survives in the k-core) and the graph's degeneracy
+// (the maximum core number), via the linear-time bucket peeling of
+// Matula–Beck.  Self loops are ignored by the peeling (a loop does not
+// bind a vertex to any neighbor).
+func (g *Graph) CoreNumbers() (core []int, degeneracy int) {
+	n := g.N()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		d := 0
+		for _, w := range g.Neighbors(v) {
+			if w != v {
+				d++
+			}
+		}
+		deg[v] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Bucket sort vertices by degree.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for d := 0; d <= maxDeg; d++ {
+		binStart[d+1] += binStart[d]
+	}
+	order := make([]int, n) // vertices sorted by current degree
+	pos := make([]int, n)   // position of each vertex in order
+	fill := append([]int(nil), binStart[:maxDeg+1]...)
+	for v := 0; v < n; v++ {
+		order[fill[deg[v]]] = v
+		pos[v] = fill[deg[v]]
+		fill[deg[v]]++
+	}
+
+	core = append([]int(nil), deg...)
+	for i := 0; i < n; i++ {
+		v := order[i]
+		if core[v] > degeneracy {
+			degeneracy = core[v]
+		}
+		for _, w := range g.Neighbors(v) {
+			if w == v || core[w] <= core[v] {
+				continue
+			}
+			// Decrease w's current degree: swap w to the front of its bin.
+			dw := core[w]
+			pw := pos[w]
+			front := binStart[dw]
+			u := order[front]
+			if u != w {
+				order[front], order[pw] = w, u
+				pos[w], pos[u] = front, pw
+			}
+			binStart[dw]++
+			core[w]--
+		}
+	}
+	return core, degeneracy
+}
+
+// Degeneracy returns δ(G), the maximum over subgraphs of the minimum
+// degree.
+func (g *Graph) Degeneracy() int {
+	_, d := g.CoreNumbers()
+	return d
+}
+
+// KCore returns the maximal subgraph in which every vertex has degree at
+// least k (on the same vertex set; shed vertices become isolated).
+func (g *Graph) KCore(k int) *Graph {
+	core, _ := g.CoreNumbers()
+	var edges []Edge
+	g.EachEdge(func(u, v int) bool {
+		if u != v && core[u] >= k && core[v] >= k {
+			edges = append(edges, Edge{U: u, V: v})
+		}
+		return true
+	})
+	kc, err := New(g.N(), edges)
+	if err != nil {
+		panic(err) // edges come from a valid graph
+	}
+	return kc
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteCoreNumbers peels by repeated minimum-degree scans — O(n²) oracle.
+func bruteCoreNumbers(g *Graph) []int {
+	n := g.N()
+	alive := make([]bool, n)
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
+		for _, w := range g.Neighbors(v) {
+			if w != v {
+				deg[v]++
+			}
+		}
+	}
+	core := make([]int, n)
+	k := 0
+	for remaining := n; remaining > 0; remaining-- {
+		// Find the minimum-degree alive vertex.
+		best := -1
+		for v := 0; v < n; v++ {
+			if alive[v] && (best == -1 || deg[v] < deg[best]) {
+				best = v
+			}
+		}
+		if deg[best] > k {
+			k = deg[best]
+		}
+		core[best] = k
+		alive[best] = false
+		for _, w := range g.Neighbors(best) {
+			if w != best && alive[w] {
+				deg[w]--
+			}
+		}
+	}
+	return core
+}
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// K4: every vertex has core number 3.
+	var edges []Edge
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	k4 := MustNew(4, edges)
+	core, degen := k4.CoreNumbers()
+	for v, c := range core {
+		if c != 3 {
+			t.Fatalf("K4 core[%d] = %d, want 3", v, c)
+		}
+	}
+	if degen != 3 {
+		t.Fatalf("K4 degeneracy = %d, want 3", degen)
+	}
+	// Trees have degeneracy 1.
+	tree := MustNew(5, []Edge{{0, 1}, {0, 2}, {1, 3}, {1, 4}})
+	if tree.Degeneracy() != 1 {
+		t.Fatalf("tree degeneracy = %d, want 1", tree.Degeneracy())
+	}
+	// Star: center core 1, leaves core 1.
+	star := MustNew(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	core, _ = star.CoreNumbers()
+	for v, c := range core {
+		if c != 1 {
+			t.Fatalf("star core[%d] = %d, want 1", v, c)
+		}
+	}
+}
+
+func TestCoreNumbersAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(14)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, Edge{i, j})
+				}
+			}
+		}
+		g := MustNew(n, edges)
+		fast, degen := g.CoreNumbers()
+		slow := bruteCoreNumbers(g)
+		maxSlow := 0
+		for v := range slow {
+			if fast[v] != slow[v] {
+				return false
+			}
+			if slow[v] > maxSlow {
+				maxSlow = slow[v]
+			}
+		}
+		return degen == maxSlow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCore(t *testing.T) {
+	// Triangle with a pendant: 2-core is the triangle.
+	g := MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	kc := g.KCore(2)
+	if kc.NumEdges() != 3 {
+		t.Fatalf("2-core has %d edges, want 3", kc.NumEdges())
+	}
+	if kc.Degree(3) != 0 {
+		t.Fatal("pendant survived the 2-core")
+	}
+	// k beyond degeneracy: empty.
+	if g.KCore(3).NumEdges() != 0 {
+		t.Fatal("3-core of a 2-degenerate graph not empty")
+	}
+	// Self loops ignored.
+	loopy := g.WithFullSelfLoops()
+	core, _ := loopy.CoreNumbers()
+	plain, _ := g.CoreNumbers()
+	for v := range core {
+		if core[v] != plain[v] {
+			t.Fatal("self loops changed core numbers")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+// ParityDistances holds, for one source vertex, the length of the shortest
+// even-length and shortest odd-length walks to every vertex (Unreached when
+// no walk of that parity exists).  Because any walk can be extended by
+// retracing an edge (+2 hops), a walk of parity p and length L exists for
+// every length L' >= L with L' ≡ p (mod 2); these two arrays therefore
+// characterize exactly which powers A^h have a nonzero (src, v) entry —
+// the quantity the Kronecker distance formulas consume.
+type ParityDistances struct {
+	Even []int
+	Odd  []int
+}
+
+// ParityBFS computes shortest even- and odd-length walk distances from src
+// by breadth-first search on the bipartite double cover of g: state (v, p)
+// is vertex v reached with walk parity p.  O(|V| + |E|).
+//
+// Self loops participate: a self loop at v allows a length-1 odd walk
+// v→v, exactly as a nonzero diagonal of the adjacency matrix does in A^h.
+func (g *Graph) ParityBFS(src int) ParityDistances {
+	n := g.N()
+	dist := [2][]int{make([]int, n), make([]int, n)}
+	for p := 0; p < 2; p++ {
+		for v := range dist[p] {
+			dist[p][v] = Unreached
+		}
+	}
+	dist[0][src] = 0
+	type state struct {
+		v, p int
+	}
+	queue := []state{{src, 0}}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		d := dist[s.p][s.v]
+		np := 1 - s.p
+		for _, w := range g.Neighbors(s.v) {
+			if dist[np][w] == Unreached {
+				dist[np][w] = d + 1
+				queue = append(queue, state{w, np})
+			}
+		}
+	}
+	return ParityDistances{Even: dist[0], Odd: dist[1]}
+}
+
+// MinWalk returns the shortest walk length from the ParityBFS source to v
+// with the given parity (0 = even, 1 = odd), or Unreached.
+func (pd ParityDistances) MinWalk(v, parity int) int {
+	if parity%2 == 0 {
+		return pd.Even[v]
+	}
+	return pd.Odd[v]
+}
+
+// AllParityBFS runs ParityBFS from every source; the result is indexed
+// [src].  O(|V|·(|V|+|E|)) — intended for the small factor graphs.
+func (g *Graph) AllParityBFS() []ParityDistances {
+	out := make([]ParityDistances, g.N())
+	for v := 0; v < g.N(); v++ {
+		out[v] = g.ParityBFS(v)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteParity computes min even/odd walk lengths by BFS over explicit
+// (vertex, parity) states with a different implementation shape (layered
+// frontier expansion) to cross-check ParityBFS.
+func bruteParity(g *Graph, src int) ParityDistances {
+	n := g.N()
+	const maxLen = 1 << 10
+	even := make([]int, n)
+	odd := make([]int, n)
+	for i := range even {
+		even[i] = Unreached
+		odd[i] = Unreached
+	}
+	reach := make([]bool, n)
+	reach[src] = true
+	even[src] = 0
+	for length := 1; length < 2*n+2 && length < maxLen; length++ {
+		next := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if !reach[v] {
+				continue
+			}
+			for _, w := range g.Neighbors(v) {
+				next[w] = true
+			}
+		}
+		for w := 0; w < n; w++ {
+			if next[w] {
+				if length%2 == 0 && even[w] == Unreached {
+					even[w] = length
+				}
+				if length%2 == 1 && odd[w] == Unreached {
+					odd[w] = length
+				}
+			}
+		}
+		reach = next
+	}
+	return ParityDistances{Even: even, Odd: odd}
+}
+
+func TestParityBFSPath(t *testing.T) {
+	g := MustNew(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	pd := g.ParityBFS(0)
+	if pd.Even[0] != 0 || pd.Odd[0] != Unreached {
+		t.Fatalf("source parities wrong: even=%d odd=%d", pd.Even[0], pd.Odd[0])
+	}
+	// Bipartite: each target reachable in exactly one parity.
+	if pd.Odd[1] != 1 || pd.Even[1] != Unreached {
+		t.Fatalf("vertex 1: even=%d odd=%d", pd.Even[1], pd.Odd[1])
+	}
+	if pd.Even[2] != 2 || pd.Odd[2] != Unreached {
+		t.Fatalf("vertex 2: even=%d odd=%d", pd.Even[2], pd.Odd[2])
+	}
+}
+
+func TestParityBFSOddCycle(t *testing.T) {
+	g := MustNew(5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}})
+	pd := g.ParityBFS(0)
+	// C5: vertex 1 at odd distance 1, even distance 4 (the long way).
+	if pd.Odd[1] != 1 || pd.Even[1] != 4 {
+		t.Fatalf("C5 vertex 1: even=%d odd=%d", pd.Even[1], pd.Odd[1])
+	}
+	// Odd closed walk back to source: girth 5.
+	if pd.Odd[0] != 5 {
+		t.Fatalf("C5 odd return = %d, want 5", pd.Odd[0])
+	}
+}
+
+func TestParityBFSSelfLoop(t *testing.T) {
+	g := MustNew(2, []Edge{{0, 1}}).WithFullSelfLoops()
+	pd := g.ParityBFS(0)
+	if pd.Odd[0] != 1 {
+		t.Fatalf("self loop should give odd return of 1, got %d", pd.Odd[0])
+	}
+	if pd.Even[1] != 2 {
+		t.Fatalf("loop-then-edge should give even 2, got %d", pd.Even[1])
+	}
+}
+
+func TestParityBFSDisconnected(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}})
+	pd := g.ParityBFS(0)
+	if pd.Even[2] != Unreached || pd.Odd[2] != Unreached {
+		t.Fatal("separate component should be unreached in both parities")
+	}
+}
+
+func TestParityBFSAgainstBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(9)
+		var edges []Edge
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					edges = append(edges, Edge{i, j})
+				}
+			}
+		}
+		g := MustNew(n, edges)
+		for src := 0; src < n; src++ {
+			fast := g.ParityBFS(src)
+			slow := bruteParity(g, src)
+			for v := 0; v < n; v++ {
+				if fast.Even[v] != slow.Even[v] || fast.Odd[v] != slow.Odd[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinWalkAndAllParityBFS(t *testing.T) {
+	g := MustNew(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	all := g.AllParityBFS()
+	if len(all) != 3 {
+		t.Fatal("AllParityBFS wrong length")
+	}
+	if all[0].MinWalk(1, 1) != 1 || all[0].MinWalk(1, 0) != 2 {
+		t.Fatalf("MinWalk wrong: odd=%d even=%d", all[0].MinWalk(1, 1), all[0].MinWalk(1, 0))
+	}
+	// Parity argument is taken mod 2.
+	if all[0].MinWalk(1, 3) != all[0].MinWalk(1, 1) {
+		t.Fatal("MinWalk parity not normalized")
+	}
+}

@@ -1,0 +1,117 @@
+package graph
+
+// Unreached marks vertices a BFS did not visit.
+const Unreached = -1
+
+// BFS returns the hop distance from src to every vertex, with Unreached (-1)
+// for vertices in other components.  Self loops are ignored by traversal
+// (they never shorten a path).
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if dist[w] == Unreached {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents labels each vertex with a component id in [0, count)
+// and returns the number of components.
+func (g *Graph) ConnectedComponents() (label []int, count int) {
+	label = make([]int, g.N())
+	for i := range label {
+		label[i] = Unreached
+	}
+	for src := 0; src < g.N(); src++ {
+		if label[src] != Unreached {
+			continue
+		}
+		label[src] = count
+		queue := []int{src}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Neighbors(v) {
+				if label[w] == Unreached {
+					label[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// IsConnected reports whether the graph has exactly one connected component.
+// The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return true
+	}
+	_, count := g.ConnectedComponents()
+	return count == 1
+}
+
+// Hops returns the minimum hop distance between u and v, or Unreached if
+// they are in different components (the paper's hops_A(i,j)).
+func (g *Graph) Hops(u, v int) int {
+	return g.BFS(u)[v]
+}
+
+// Eccentricity returns the maximum BFS distance from v to any reachable
+// vertex.  If the graph is disconnected, unreachable vertices are ignored.
+func (g *Graph) Eccentricity(v int) int {
+	ecc := 0
+	for _, d := range g.BFS(v) {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the maximum eccentricity over all vertices, computed by
+// all-sources BFS in O(|V||E|); intended for the small factor graphs.
+// Disconnected pairs are ignored; the empty graph has diameter 0.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.N(); v++ {
+		if e := g.Eccentricity(v); e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// DegreeHistogram returns a map from degree to the number of vertices with
+// that degree.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := 0; v < g.N(); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}

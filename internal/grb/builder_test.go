@@ -1,0 +1,100 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBuilderDuplicatesSum(t *testing.T) {
+	b := NewBuilder[int64](2, 2)
+	b.Add(0, 1, 3)
+	b.Add(0, 1, 4)
+	b.Add(1, 0, 1)
+	m := b.MustBuild()
+	if m.At(0, 1) != 7 {
+		t.Fatalf("duplicate sum: got %d, want 7", m.At(0, 1))
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", m.NNZ())
+	}
+}
+
+func TestBuilderOutOfRange(t *testing.T) {
+	cases := []struct{ i, j int }{{-1, 0}, {0, -1}, {2, 0}, {0, 2}}
+	for _, tc := range cases {
+		b := NewBuilder[int64](2, 2)
+		b.Add(tc.i, tc.j, 1)
+		if _, err := b.Build(); err == nil {
+			t.Fatalf("Build accepted out-of-range entry (%d,%d)", tc.i, tc.j)
+		}
+	}
+}
+
+func TestBuilderAddSym(t *testing.T) {
+	b := NewBuilder[int64](3, 3)
+	b.AddSym(0, 1, 1)
+	b.AddSym(2, 2, 5)
+	m := b.MustBuild()
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Fatal("AddSym did not mirror off-diagonal entry")
+	}
+	if m.At(2, 2) != 5 {
+		t.Fatalf("AddSym doubled diagonal entry: got %d, want 5", m.At(2, 2))
+	}
+	if !IsSymmetric(m) {
+		t.Fatal("AddSym result not symmetric")
+	}
+}
+
+func TestBuilderEmpty(t *testing.T) {
+	m := NewBuilder[int64](4, 5).MustBuild()
+	if m.NRows() != 4 || m.NCols() != 5 || m.NNZ() != 0 {
+		t.Fatal("empty build has wrong shape")
+	}
+}
+
+func TestBuilderReusable(t *testing.T) {
+	b := NewBuilder[int64](2, 2)
+	b.Add(0, 0, 1)
+	m1 := b.MustBuild()
+	b.Add(1, 1, 2)
+	m2 := b.MustBuild()
+	if m1.NNZ() != 1 {
+		t.Fatal("first build changed after reuse")
+	}
+	if m2.NNZ() != 2 || m2.At(1, 1) != 2 {
+		t.Fatal("second build missing accumulated entry")
+	}
+}
+
+func TestBuilderUnsortedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Insert a fixed entry set in random order; result must be canonical.
+	type coord struct{ i, j int }
+	want := map[coord]int64{}
+	var coords []coord
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if rng.Float64() < 0.3 {
+				c := coord{i, j}
+				want[c] = int64(rng.Intn(9) + 1)
+				coords = append(coords, c)
+			}
+		}
+	}
+	rng.Shuffle(len(coords), func(a, b int) { coords[a], coords[b] = coords[b], coords[a] })
+	b := NewBuilder[int64](10, 10)
+	for _, c := range coords {
+		b.Add(c.i, c.j, want[c])
+	}
+	m := b.MustBuild()
+	if m.NNZ() != len(want) {
+		t.Fatalf("nnz = %d, want %d", m.NNZ(), len(want))
+	}
+	m.Iterate(func(i, j int, v int64) bool {
+		if want[coord{i, j}] != v {
+			t.Fatalf("entry (%d,%d) = %d, want %d", i, j, v, want[coord{i, j}])
+		}
+		return true
+	})
+}

@@ -1,0 +1,124 @@
+package grb
+
+import "fmt"
+
+// Lazy vector expressions.  The GraphBLAS C API's non-blocking execution
+// mode lets an implementation defer evaluation, fuse operations and skip
+// temporaries; the paper leans on this ("a relatively simple GraphBLAS
+// code could be used to sample 4-cycle counts at edges and vertices
+// without materializing the full Kronecker products").  Expr reproduces
+// that behaviour for the vector algebra the ground-truth formulas use:
+//
+//   - At(i) evaluates a single slot of the expression tree in O(depth),
+//     never allocating the full vector — the sampling path;
+//   - Sum() reduces algebraically, exploiting Σ(x ⊗ y) = Σx·Σy so that
+//     global reductions of Kronecker expressions cost O(|x|+|y|) instead
+//     of O(|x|·|y|) — the sublinear-global-count path;
+//   - Materialize() forces the whole vector when a caller really wants it.
+type Expr[T Number] interface {
+	// Len returns the logical vector length.
+	Len() int
+	// At evaluates slot i without materializing the expression.
+	At(i int) T
+	// Sum reduces the expression, factorizing across Kronecker nodes.
+	Sum() T
+}
+
+// MaterializeExpr forces an expression into a dense vector.
+func MaterializeExpr[T Number](e Expr[T]) []T {
+	out := make([]T, e.Len())
+	for i := range out {
+		out[i] = e.At(i)
+	}
+	return out
+}
+
+type leafExpr[T Number] struct{ v []T }
+
+// LeafExpr wraps a dense vector as an expression leaf (not copied).
+func LeafExpr[T Number](v []T) Expr[T] { return leafExpr[T]{v} }
+
+func (l leafExpr[T]) Len() int   { return len(l.v) }
+func (l leafExpr[T]) At(i int) T { return l.v[i] }
+func (l leafExpr[T]) Sum() T     { return SumVec(l.v) }
+
+type kronExpr[T Number] struct{ x, y Expr[T] }
+
+// KronExpr is the lazy Kronecker product of two vector expressions:
+// (x ⊗ y)[i·len(y)+k] = x[i]·y[k].
+func KronExpr[T Number](x, y Expr[T]) Expr[T] { return kronExpr[T]{x, y} }
+
+func (e kronExpr[T]) Len() int { return e.x.Len() * e.y.Len() }
+func (e kronExpr[T]) At(i int) T {
+	ny := e.y.Len()
+	return e.x.At(i/ny) * e.y.At(i%ny)
+}
+func (e kronExpr[T]) Sum() T { return e.x.Sum() * e.y.Sum() }
+
+type binExpr[T Number] struct {
+	a, b Expr[T]
+	op   func(T, T) T
+	// sumRule, when non-nil, reduces from the operand sums (valid for
+	// linear ops); otherwise Sum falls back to element-wise evaluation.
+	sumRule func(sa, sb T) T
+}
+
+func newBin[T Number](a, b Expr[T], op func(T, T) T, sumRule func(T, T) T) Expr[T] {
+	if a.Len() != b.Len() {
+		panic(fmt.Sprintf("grb: expression length mismatch %d vs %d", a.Len(), b.Len()))
+	}
+	return binExpr[T]{a, b, op, sumRule}
+}
+
+// AddExpr is the lazy element-wise sum.
+func AddExpr[T Number](a, b Expr[T]) Expr[T] {
+	return newBin(a, b, func(x, y T) T { return x + y }, func(sa, sb T) T { return sa + sb })
+}
+
+// SubExpr is the lazy element-wise difference.
+func SubExpr[T Number](a, b Expr[T]) Expr[T] {
+	return newBin(a, b, func(x, y T) T { return x - y }, func(sa, sb T) T { return sa - sb })
+}
+
+// HadamardExpr is the lazy element-wise product.  Its Sum has no algebraic
+// shortcut and evaluates element-wise.
+func HadamardExpr[T Number](a, b Expr[T]) Expr[T] {
+	return newBin(a, b, func(x, y T) T { return x * y }, nil)
+}
+
+func (e binExpr[T]) Len() int   { return e.a.Len() }
+func (e binExpr[T]) At(i int) T { return e.op(e.a.At(i), e.b.At(i)) }
+func (e binExpr[T]) Sum() T {
+	if e.sumRule != nil {
+		return e.sumRule(e.a.Sum(), e.b.Sum())
+	}
+	var s T
+	for i, n := 0, e.Len(); i < n; i++ {
+		s += e.At(i)
+	}
+	return s
+}
+
+type scaleExpr[T Number] struct {
+	c T
+	a Expr[T]
+}
+
+// ScaleExpr is the lazy scalar multiple c·a.
+func ScaleExpr[T Number](c T, a Expr[T]) Expr[T] { return scaleExpr[T]{c, a} }
+
+func (e scaleExpr[T]) Len() int   { return e.a.Len() }
+func (e scaleExpr[T]) At(i int) T { return e.c * e.a.At(i) }
+func (e scaleExpr[T]) Sum() T     { return e.c * e.a.Sum() }
+
+type shiftExpr[T Number] struct {
+	c T
+	a Expr[T]
+}
+
+// ShiftExpr is the lazy shift a + c·1.
+func ShiftExpr[T Number](a Expr[T], c T) Expr[T] { return shiftExpr[T]{c, a} }
+
+func (e shiftExpr[T]) Len() int   { return e.a.Len() }
+func (e shiftExpr[T]) At(i int) T { return e.a.At(i) + e.c }
+func (e shiftExpr[T]) Sum() T     { return e.a.Sum() + e.c*T(e.a.Len()) }

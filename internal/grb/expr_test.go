@@ -1,0 +1,161 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand, n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(rng.Intn(9) - 4)
+	}
+	return v
+}
+
+// randExpr builds a random expression tree and an eagerly computed oracle
+// vector side by side.
+func randExpr(rng *rand.Rand, depth int) (Expr[int64], []int64) {
+	if depth == 0 || rng.Float64() < 0.3 {
+		v := randVec(rng, 1+rng.Intn(5))
+		return LeafExpr(v), v
+	}
+	switch rng.Intn(5) {
+	case 0:
+		a, va := randExpr(rng, depth-1)
+		b, vb := randExpr(rng, depth-1)
+		// Force equal lengths by regenerating b as a leaf of a's length.
+		if len(vb) != len(va) {
+			vb = randVec(rng, len(va))
+			b = LeafExpr(vb)
+		}
+		return AddExpr(a, b), AddVec(va, vb)
+	case 1:
+		a, va := randExpr(rng, depth-1)
+		b, vb := randExpr(rng, depth-1)
+		if len(vb) != len(va) {
+			vb = randVec(rng, len(va))
+			b = LeafExpr(vb)
+		}
+		return SubExpr(a, b), SubVec(va, vb)
+	case 2:
+		a, va := randExpr(rng, depth-1)
+		b, vb := randExpr(rng, depth-1)
+		if len(vb) != len(va) {
+			vb = randVec(rng, len(va))
+			b = LeafExpr(vb)
+		}
+		return HadamardExpr(a, b), HadamardVec(va, vb)
+	case 3:
+		a, va := randExpr(rng, depth-1)
+		c := int64(rng.Intn(5) - 2)
+		return ScaleExpr(c, a), ScaleVec(c, va)
+	default:
+		a, va := randExpr(rng, depth-1)
+		b, vb := randExpr(rng, depth-1)
+		return KronExpr(a, b), KronVec(va, vb)
+	}
+}
+
+func TestExprMatchesEager(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e, want := randExpr(rng, 4)
+		if e.Len() != len(want) {
+			return false
+		}
+		got := MaterializeExpr(e)
+		if !EqualVec(got, want) {
+			return false
+		}
+		for i := range want {
+			if e.At(i) != want[i] {
+				return false
+			}
+		}
+		return e.Sum() == SumVec(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExprShift(t *testing.T) {
+	e := ShiftExpr(LeafExpr([]int64{1, 2, 3}), 10)
+	if !EqualVec(MaterializeExpr(e), []int64{11, 12, 13}) {
+		t.Fatal("ShiftExpr wrong")
+	}
+	if e.Sum() != 36 {
+		t.Fatalf("ShiftExpr Sum = %d, want 36", e.Sum())
+	}
+}
+
+// TestExprKronSumIsSublinear verifies the fusion rule: summing a Kronecker
+// expression never touches the product space.  We build a kron of two
+// vectors whose product length would be ~10^12 slots and reduce it
+// instantly — the paper's sublinear global-count trick in expression form.
+func TestExprKronSumIsSublinear(t *testing.T) {
+	big1 := make([]int64, 1<<20)
+	big2 := make([]int64, 1<<20)
+	for i := range big1 {
+		big1[i] = int64(i % 7)
+		big2[i] = int64(i % 5)
+	}
+	e := KronExpr(LeafExpr(big1), LeafExpr(big2))
+	want := SumVec(big1) * SumVec(big2)
+	if got := e.Sum(); got != want {
+		t.Fatalf("kron Sum = %d, want %d", got, want)
+	}
+	// Point evaluation works at astronomical indices.
+	idx := (1<<20)*12345 + 678
+	if e.At(idx) != big1[12345]*big2[678] {
+		t.Fatal("kron At wrong at large index")
+	}
+}
+
+// TestExprThm3Shape assembles the Thm. 3 vertex-4-cycle expression
+//
+//	s_C = ½[ d4A ⊗ d4B − d²A ⊗ d²B − w2A ⊗ w2B + dA ⊗ dB ]
+//
+// lazily and checks point sampling and the fused global sum against eager
+// evaluation.
+func TestExprThm3Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n1, n2 := 40, 30
+	d4A, d4B := randVec(rng, n1), randVec(rng, n2)
+	d2A, d2B := randVec(rng, n1), randVec(rng, n2)
+	w2A, w2B := randVec(rng, n1), randVec(rng, n2)
+	dA, dB := randVec(rng, n1), randVec(rng, n2)
+
+	expr := AddExpr(
+		SubExpr(
+			SubExpr(KronExpr(LeafExpr(d4A), LeafExpr(d4B)), KronExpr(LeafExpr(d2A), LeafExpr(d2B))),
+			KronExpr(LeafExpr(w2A), LeafExpr(w2B)),
+		),
+		KronExpr(LeafExpr(dA), LeafExpr(dB)),
+	)
+	eager := AddVec(
+		SubVec(
+			SubVec(KronVec(d4A, d4B), KronVec(d2A, d2B)),
+			KronVec(w2A, w2B)),
+		KronVec(dA, dB))
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(n1 * n2)
+		if expr.At(i) != eager[i] {
+			t.Fatalf("expr.At(%d) = %d, eager %d", i, expr.At(i), eager[i])
+		}
+	}
+	if expr.Sum() != SumVec(eager) {
+		t.Fatal("fused Sum disagrees with eager sum")
+	}
+}
+
+func TestExprLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddExpr did not panic on length mismatch")
+		}
+	}()
+	AddExpr(LeafExpr([]int64{1}), LeafExpr([]int64{1, 2}))
+}

@@ -1,0 +1,219 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtractBasic(t *testing.T) {
+	a, _ := FromDense([][]int64{
+		{1, 2, 3},
+		{4, 5, 6},
+		{7, 8, 9},
+	})
+	sub, err := Extract(a, []int{2, 0}, []int{1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{8, 8, 9}, {2, 2, 3}}
+	if !denseEqual(sub.Dense(), want) {
+		t.Fatalf("Extract = %v, want %v", sub.Dense(), want)
+	}
+}
+
+func TestExtractOutOfRange(t *testing.T) {
+	a := Identity[int64](3)
+	if _, err := Extract(a, []int{3}, []int{0}); err == nil {
+		t.Fatal("accepted row out of range")
+	}
+	if _, err := Extract(a, []int{0}, []int{-1}); err == nil {
+		t.Fatal("accepted column out of range")
+	}
+}
+
+func TestExtractMatchesDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 6, 7, 0.4)
+		nr, nc := 1+rng.Intn(5), 1+rng.Intn(5)
+		rows := make([]int, nr)
+		cols := make([]int, nc)
+		for i := range rows {
+			rows[i] = rng.Intn(6)
+		}
+		for j := range cols {
+			cols[j] = rng.Intn(7)
+		}
+		sub, err := Extract(a, rows, cols)
+		if err != nil {
+			return false
+		}
+		da := a.Dense()
+		for r := range rows {
+			for c := range cols {
+				if sub.At(r, c) != da[rows[r]][cols[c]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignReplacesRegion(t *testing.T) {
+	a, _ := FromDense([][]int64{
+		{1, 1, 1},
+		{1, 1, 1},
+		{1, 1, 1},
+	})
+	sub, _ := FromDense([][]int64{{9, 0}, {0, 8}})
+	out, err := Assign(a, []int{0, 2}, []int{1, 2}, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{
+		{1, 9, 0},
+		{1, 1, 1},
+		{1, 0, 8},
+	}
+	if !denseEqual(out.Dense(), want) {
+		t.Fatalf("Assign = %v, want %v", out.Dense(), want)
+	}
+	// Original untouched.
+	if a.At(0, 1) != 1 {
+		t.Fatal("Assign mutated its input")
+	}
+}
+
+func TestAssignValidation(t *testing.T) {
+	a := Identity[int64](3)
+	sub := Identity[int64](2)
+	if _, err := Assign(a, []int{0}, []int{0, 1}, sub); err == nil {
+		t.Fatal("accepted shape mismatch")
+	}
+	if _, err := Assign(a, []int{0, 3}, []int{0, 1}, sub); err == nil {
+		t.Fatal("accepted row out of range")
+	}
+	if _, err := Assign(a, []int{0, 0}, []int{0, 1}, sub); err == nil {
+		t.Fatal("accepted duplicate row")
+	}
+	if _, err := Assign(a, []int{0, 1}, []int{1, 1}, sub); err == nil {
+		t.Fatal("accepted duplicate column")
+	}
+}
+
+func TestAssignExtractRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 7, 7, 0.4)
+		// Distinct index sets.
+		rows := rng.Perm(7)[:3]
+		cols := rng.Perm(7)[:4]
+		sub, err := Extract(a, rows, cols)
+		if err != nil {
+			return false
+		}
+		// Assigning a region's own extraction back must be the identity.
+		back, err := Assign(a, rows, cols, sub)
+		if err != nil {
+			return false
+		}
+		return Equal(a, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	a, _ := FromDense([][]int64{{1, -2}, {3, -4}})
+	pos := Select(a, func(_, _ int, v int64) bool { return v > 0 })
+	if pos.NNZ() != 2 || pos.At(0, 0) != 1 || pos.At(1, 0) != 3 {
+		t.Fatalf("Select = %v", pos.Dense())
+	}
+	diag := Select(a, func(i, j int, _ int64) bool { return i == j })
+	if diag.NNZ() != 2 || diag.At(0, 0) != 1 || diag.At(1, 1) != -4 {
+		t.Fatalf("coordinate Select = %v", diag.Dense())
+	}
+}
+
+func TestMxMMaskedMatchesHadamard(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sym := randomSymmetric(rng, 8, 0.4)
+		a := randomMatrix(rng, 8, 8, 0.4)
+		mask := randomMatrix(rng, 8, 8, 0.3)
+		masked, err := MxMMasked(a, sym, mask)
+		if err != nil {
+			return false
+		}
+		full, err := MxM(a, sym)
+		if err != nil {
+			return false
+		}
+		// Every mask coordinate must carry the full product's value.
+		ok := true
+		mask.Iterate(func(i, j int, _ int64) bool {
+			if masked.At(i, j) != full.At(i, j) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok && masked.NNZ() == mask.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMxMMaskedValidation(t *testing.T) {
+	a := Zero[int64](2, 3)
+	b := Zero[int64](4, 4)
+	if _, err := MxMMasked(a, b, Zero[int64](2, 4)); err == nil {
+		t.Fatal("accepted inner dimension mismatch")
+	}
+	sym := Identity[int64](3)
+	if _, err := MxMMasked(a, sym, Zero[int64](9, 9)); err == nil {
+		t.Fatal("accepted mask shape mismatch")
+	}
+	asym, _ := FromDense([][]int64{{0, 1, 0}, {0, 0, 0}, {0, 0, 0}})
+	if _, err := MxMMasked(a, asym, Zero[int64](2, 3)); err == nil {
+		t.Fatal("accepted asymmetric B")
+	}
+}
+
+// TestDef9ViaMaskedMxM recomputes A³∘A with the masked kernel and checks it
+// against the full-product route — the GraphBLAS idiom behind Def. 9.
+func TestDef9ViaMaskedMxM(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	a := randomSymmetric(rng, 10, 0.4)
+	a2, err := MxM(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := MxMMasked(a2, a, a) // (A²·A) ∘ pattern(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a3, err := MxM(a2, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Hadamard(a3, applyOnes(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(masked, want) {
+		t.Fatal("masked A³∘A differs from full-product route")
+	}
+}
+
+func applyOnes(a *Matrix[int64]) *Matrix[int64] {
+	m, _ := Apply(a, func(int64) int64 { return 1 })
+	return m
+}

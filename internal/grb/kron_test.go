@@ -1,0 +1,210 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// denseKron is the brute-force oracle straight from the paper's Def. 4.
+func denseKron(a, b [][]int64) [][]int64 {
+	ma, mb := len(a), len(b)
+	na, nb := 0, 0
+	if ma > 0 {
+		na = len(a[0])
+	}
+	if mb > 0 {
+		nb = len(b[0])
+	}
+	out := make([][]int64, ma*mb)
+	for p := range out {
+		out[p] = make([]int64, na*nb)
+		i, k := p/mb, p%mb
+		for q := range out[p] {
+			j, l := q/nb, q%nb
+			out[p][q] = a[i][j] * b[k][l]
+		}
+	}
+	return out
+}
+
+func TestKronAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 40; trial++ {
+		a := randomMatrix(rng, 3+rng.Intn(3), 2+rng.Intn(4), 0.4)
+		b := randomMatrix(rng, 2+rng.Intn(4), 3+rng.Intn(3), 0.4)
+		c, err := Kron(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := denseKron(a.Dense(), b.Dense())
+		if !denseEqual(c.Dense(), want) {
+			t.Fatalf("trial %d: Kron mismatch", trial)
+		}
+	}
+}
+
+func TestKronParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomMatrix(rng, 12, 9, 0.3)
+	b := randomMatrix(rng, 8, 11, 0.3)
+	serial, err := Kron(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 0, 1000} {
+		par, err := KronParallel(a, b, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Equal(serial, par) {
+			t.Fatalf("workers=%d: parallel Kron differs", workers)
+		}
+	}
+}
+
+func TestKronNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomMatrix(rng, 5, 5, 0.4)
+	b := randomMatrix(rng, 6, 6, 0.4)
+	c, err := Kron(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NNZ() != a.NNZ()*b.NNZ() {
+		t.Fatalf("Kron nnz = %d, want %d", c.NNZ(), a.NNZ()*b.NNZ())
+	}
+}
+
+func TestKronEmptyFactors(t *testing.T) {
+	a := Zero[int64](3, 3)
+	b := Identity[int64](2)
+	c, err := Kron(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NRows() != 6 || c.NCols() != 6 || c.NNZ() != 0 {
+		t.Fatal("Kron with zero factor wrong")
+	}
+}
+
+// --- Property-based tests of the paper's Appendix A identities ---
+
+// smallPair generates two random square factors from a quick seed.
+func smallPair(seed int64) (*Matrix[int64], *Matrix[int64], *Matrix[int64], *Matrix[int64]) {
+	rng := rand.New(rand.NewSource(seed))
+	n1 := 2 + rng.Intn(3)
+	n2 := 2 + rng.Intn(3)
+	a1 := randomMatrix(rng, n1, n1, 0.5)
+	a2 := randomMatrix(rng, n2, n2, 0.5)
+	a3 := randomMatrix(rng, n1, n1, 0.5)
+	a4 := randomMatrix(rng, n2, n2, 0.5)
+	return a1, a2, a3, a4
+}
+
+// Prop 1(b): (A1 + A2) ⊗ A3 = (A1 ⊗ A3) + (A2 ⊗ A3).
+func TestPropKronDistributivity(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, a3, _ := smallPair(seed)
+		sum, _ := Add(a1, a3) // a1, a3 share shape
+		lhs, _ := Kron(sum, a2)
+		k1, _ := Kron(a1, a2)
+		k2, _ := Kron(a3, a2)
+		rhs, _ := Add(k1, k2)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prop 1(c): (A1 ⊗ A2)ᵗ = A1ᵗ ⊗ A2ᵗ.
+func TestPropKronTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, _, _ := smallPair(seed)
+		k, _ := Kron(a1, a2)
+		lhs := Transpose(k)
+		rhs, _ := Kron(Transpose(a1), Transpose(a2))
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prop 1(d): (A1 ⊗ A2)(A3 ⊗ A4) = (A1·A3) ⊗ (A2·A4).
+func TestPropKronMixedProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, a3, a4 := smallPair(seed)
+		k1, _ := Kron(a1, a2)
+		k2, _ := Kron(a3, a4)
+		lhs, _ := MxM(k1, k2)
+		m1, _ := MxM(a1, a3)
+		m2, _ := MxM(a2, a4)
+		rhs, _ := Kron(m1, m2)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prop 2(e): (A1 ⊗ A2) ∘ (A3 ⊗ A4) = (A1 ∘ A3) ⊗ (A2 ∘ A4).
+func TestPropHadamardKronDistributivity(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, a3, a4 := smallPair(seed)
+		k1, _ := Kron(a1, a2)
+		k2, _ := Kron(a3, a4)
+		lhs, _ := Hadamard(k1, k2)
+		h1, _ := Hadamard(a1, a3)
+		h2, _ := Hadamard(a2, a4)
+		rhs, _ := Kron(h1, h2)
+		return Equal(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prop 2(f): diag(A1 ⊗ A2) = diag(A1) ⊗ diag(A2).
+func TestPropDiagKronDistributivity(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, _, _ := smallPair(seed)
+		k, _ := Kron(a1, a2)
+		lhs, _ := Diag(k)
+		d1, _ := Diag(a1)
+		d2, _ := Diag(a2)
+		rhs := KronVec(d1, d2)
+		return EqualVec(lhs, rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Prop 1(a): scalar multiplication moves across the product.
+func TestPropKronScalar(t *testing.T) {
+	f := func(seed int64) bool {
+		a1, a2, _, _ := smallPair(seed)
+		k, _ := Kron(ScalarMul(int64(2), a1), ScalarMul(int64(3), a2))
+		k0, _ := Kron(a1, a2)
+		return Equal(k, ScalarMul(int64(6), k0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKronVec(t *testing.T) {
+	x := []int64{1, 2}
+	y := []int64{3, 0, 5}
+	got := KronVec(x, y)
+	want := []int64{3, 0, 5, 6, 0, 10}
+	if !EqualVec(got, want) {
+		t.Fatalf("KronVec = %v, want %v", got, want)
+	}
+	// Sum factorizes: sum(x⊗y) = sum(x)·sum(y).
+	if SumVec(got) != SumVec(x)*SumVec(y) {
+		t.Fatal("KronVec sum does not factorize")
+	}
+}

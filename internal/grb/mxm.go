@@ -1,0 +1,200 @@
+package grb
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// MxM computes C = A·B over the conventional (+,*) semiring using
+// Gustavson's row-wise algorithm with a dense accumulator.
+func MxM[T Number](a, b *Matrix[T]) (*Matrix[T], error) {
+	return MxMSemiring(PlusTimes[T](), a, b)
+}
+
+// MxMSemiring computes C = A·B over an arbitrary semiring.  The additive
+// identity plays the role of the implicit zero: accumulated entries equal to
+// it are still stored (value-based pruning is a separate concern; see Prune).
+func MxMSemiring[T Number](sr Semiring[T], a, b *Matrix[T]) (*Matrix[T], error) {
+	if a.nc != b.nr {
+		return nil, fmt.Errorf("grb: MxM dimension mismatch: %dx%d times %dx%d", a.nr, a.nc, b.nr, b.nc)
+	}
+	rowPtr := make([]int, a.nr+1)
+	var colIdx []int
+	var val []T
+	acc := make([]T, b.nc)
+	mark := make([]int, b.nc) // mark[j] == i+1 means column j touched for row i
+	touched := make([]int, 0, 64)
+	for i := 0; i < a.nr; i++ {
+		touched = touched[:0]
+		for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+			col := a.colIdx[ka]
+			av := a.val[ka]
+			for kb := b.rowPtr[col]; kb < b.rowPtr[col+1]; kb++ {
+				j := b.colIdx[kb]
+				p := sr.Mul(av, b.val[kb])
+				if mark[j] != i+1 {
+					mark[j] = i + 1
+					acc[j] = sr.Add.Op(sr.Add.Identity, p)
+					touched = append(touched, j)
+				} else {
+					acc[j] = sr.Add.Op(acc[j], p)
+				}
+			}
+		}
+		sortInts(touched)
+		for _, j := range touched {
+			colIdx = append(colIdx, j)
+			val = append(val, acc[j])
+		}
+		rowPtr[i+1] = len(colIdx)
+	}
+	return &Matrix[T]{nr: a.nr, nc: b.nc, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+}
+
+// MxMParallel computes C = A·B over (+,*) with rows partitioned across
+// workers.  It runs a symbolic pass to size each stripe, then a numeric pass
+// that writes rows directly into their final positions; no per-worker
+// buffers are stitched afterwards.  workers <= 0 selects GOMAXPROCS.
+func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
+	if a.nc != b.nr {
+		return nil, fmt.Errorf("grb: MxM dimension mismatch: %dx%d times %dx%d", a.nr, a.nc, b.nr, b.nc)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.nr {
+		workers = a.nr
+	}
+	if workers <= 1 {
+		return MxM(a, b)
+	}
+
+	// Symbolic pass: per-row output nnz.
+	rowNNZ := make([]int, a.nr)
+	parallelRows(a.nr, workers, func(w, lo, hi int) {
+		mark := make([]int, b.nc)
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+				col := a.colIdx[ka]
+				for kb := b.rowPtr[col]; kb < b.rowPtr[col+1]; kb++ {
+					j := b.colIdx[kb]
+					if mark[j] != i+1 {
+						mark[j] = i + 1
+						cnt++
+					}
+				}
+			}
+			rowNNZ[i] = cnt
+		}
+	})
+
+	rowPtr := make([]int, a.nr+1)
+	for i, n := range rowNNZ {
+		rowPtr[i+1] = rowPtr[i] + n
+	}
+	nnz := rowPtr[a.nr]
+	colIdx := make([]int, nnz)
+	val := make([]T, nnz)
+
+	// Numeric pass.
+	parallelRows(a.nr, workers, func(w, lo, hi int) {
+		acc := make([]T, b.nc)
+		mark := make([]int, b.nc)
+		touched := make([]int, 0, 64)
+		for i := lo; i < hi; i++ {
+			touched = touched[:0]
+			for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
+				col := a.colIdx[ka]
+				av := a.val[ka]
+				for kb := b.rowPtr[col]; kb < b.rowPtr[col+1]; kb++ {
+					j := b.colIdx[kb]
+					p := av * b.val[kb]
+					if mark[j] != i+1 {
+						mark[j] = i + 1
+						acc[j] = p
+						touched = append(touched, j)
+					} else {
+						acc[j] += p
+					}
+				}
+			}
+			sortInts(touched)
+			base := rowPtr[i]
+			for t, j := range touched {
+				colIdx[base+t] = j
+				val[base+t] = acc[j]
+			}
+		}
+	})
+	return &Matrix[T]{nr: a.nr, nc: b.nc, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
+}
+
+// MxVParallel computes y = A·x over (+,*) with rows partitioned across
+// workers.  workers <= 0 selects GOMAXPROCS.
+func MxVParallel[T Number](a *Matrix[T], x []T, workers int) ([]T, error) {
+	if len(x) != a.nc {
+		return nil, fmt.Errorf("grb: MxV dimension mismatch: matrix %dx%d, vector %d", a.nr, a.nc, len(x))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.nr {
+		workers = a.nr
+	}
+	y := make([]T, a.nr)
+	parallelRows(a.nr, workers, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc T
+			for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+				acc += a.val[k] * x[a.colIdx[k]]
+			}
+			y[i] = acc
+		}
+	})
+	return y, nil
+}
+
+// parallelRows splits [0,n) into `workers` contiguous stripes and runs fn on
+// each in its own goroutine, blocking until all complete.
+func parallelRows(n, workers int, fn func(worker, lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// sortInts is an insertion sort for the short "touched columns" lists that
+// arise in Gustavson accumulation; it beats sort.Ints below ~100 elements
+// and avoids the interface overhead in the hot loop.
+func sortInts(s []int) {
+	if len(s) > 64 {
+		sort.Ints(s)
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

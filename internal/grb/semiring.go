@@ -1,0 +1,84 @@
+package grb
+
+// Monoid is a commutative, associative binary operator with an identity,
+// used for reductions and as the additive component of a semiring.
+type Monoid[T Number] struct {
+	Identity T
+	Op       func(T, T) T
+}
+
+// Semiring pairs an additive monoid with a multiplicative operator, per the
+// GraphBLAS mathematical specification.  MxM/MxV over a semiring compute
+//
+//	c_ij = Add_k ( Mul(a_ik, b_kj) )
+//
+// where the Add reduction starts from the monoid identity and only stored
+// entries participate (the implicit zero is the monoid identity, as in
+// GraphBLAS).
+type Semiring[T Number] struct {
+	Add Monoid[T]
+	Mul func(T, T) T
+}
+
+// PlusMonoid is ordinary addition with identity 0.
+func PlusMonoid[T Number]() Monoid[T] {
+	return Monoid[T]{Identity: 0, Op: func(a, b T) T { return a + b }}
+}
+
+// MinMonoid is minimum with identity +inf (the maximum representable value
+// is used for integer instantiations; callers treat it as "unreached").
+func MinMonoid[T Number](inf T) Monoid[T] {
+	return Monoid[T]{Identity: inf, Op: func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	}}
+}
+
+// MaxMonoid is maximum with the supplied identity (typically the minimum
+// representable value or 0 for non-negative data).
+func MaxMonoid[T Number](neginf T) Monoid[T] {
+	return Monoid[T]{Identity: neginf, Op: func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	}}
+}
+
+// OrMonoid is logical OR over {0,1}-valued scalars, with identity 0.
+func OrMonoid[T Number]() Monoid[T] {
+	return Monoid[T]{Identity: 0, Op: func(a, b T) T {
+		if a != 0 || b != 0 {
+			return 1
+		}
+		return 0
+	}}
+}
+
+// PlusTimes is the conventional arithmetic semiring (+, *); walk counting
+// over adjacency matrices uses this.
+func PlusTimes[T Number]() Semiring[T] {
+	return Semiring[T]{Add: PlusMonoid[T](), Mul: func(a, b T) T { return a * b }}
+}
+
+// MinPlus is the tropical shortest-path semiring with the supplied +inf.
+func MinPlus[T Number](inf T) Semiring[T] {
+	return Semiring[T]{Add: MinMonoid(inf), Mul: func(a, b T) T {
+		if a == inf || b == inf {
+			return inf
+		}
+		return a + b
+	}}
+}
+
+// OrAnd is the boolean reachability semiring over {0,1}-valued scalars.
+func OrAnd[T Number]() Semiring[T] {
+	return Semiring[T]{Add: OrMonoid[T](), Mul: func(a, b T) T {
+		if a != 0 && b != 0 {
+			return 1
+		}
+		return 0
+	}}
+}

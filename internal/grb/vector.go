@@ -1,0 +1,134 @@
+package grb
+
+import "fmt"
+
+// Dense-vector helpers.  The per-vertex ground-truth formulas (Thm. 3–4)
+// are linear combinations of Kronecker products of small per-factor vectors
+// (degree d, two-walk counts w², squares s); these helpers keep that algebra
+// readable at the call site.
+
+// Ones returns the length-n all-ones vector (the paper's 1_A).
+func Ones[T Number](n int) []T {
+	v := make([]T, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Fill returns a length-n vector with every slot set to c.
+func Fill[T Number](n int, c T) []T {
+	v := make([]T, n)
+	for i := range v {
+		v[i] = c
+	}
+	return v
+}
+
+// AddVec returns x + y element-wise.
+func AddVec[T Number](x, y []T) []T {
+	mustSameLen("AddVec", len(x), len(y))
+	out := make([]T, len(x))
+	for i := range x {
+		out[i] = x[i] + y[i]
+	}
+	return out
+}
+
+// SubVec returns x - y element-wise.
+func SubVec[T Number](x, y []T) []T {
+	mustSameLen("SubVec", len(x), len(y))
+	out := make([]T, len(x))
+	for i := range x {
+		out[i] = x[i] - y[i]
+	}
+	return out
+}
+
+// HadamardVec returns x ∘ y element-wise.
+func HadamardVec[T Number](x, y []T) []T {
+	mustSameLen("HadamardVec", len(x), len(y))
+	out := make([]T, len(x))
+	for i := range x {
+		out[i] = x[i] * y[i]
+	}
+	return out
+}
+
+// ScaleVec returns c·x.
+func ScaleVec[T Number](c T, x []T) []T {
+	out := make([]T, len(x))
+	for i := range x {
+		out[i] = c * x[i]
+	}
+	return out
+}
+
+// ShiftVec returns x + c·1.
+func ShiftVec[T Number](x []T, c T) []T {
+	out := make([]T, len(x))
+	for i := range x {
+		out[i] = x[i] + c
+	}
+	return out
+}
+
+// SumVec returns the sum of the entries of x.
+func SumVec[T Number](x []T) T {
+	var s T
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// DotVec returns xᵗy.
+func DotVec[T Number](x, y []T) T {
+	mustSameLen("DotVec", len(x), len(y))
+	var s T
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// MinVec returns the minimum entry of a non-empty vector.
+func MinVec[T Number](x []T) T {
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// MaxVec returns the maximum entry of a non-empty vector.
+func MaxVec[T Number](x []T) T {
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// EqualVec reports element-wise equality.
+func EqualVec[T Number](x, y []T) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func mustSameLen(op string, a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("grb: %s length mismatch %d vs %d", op, a, b))
+	}
+}

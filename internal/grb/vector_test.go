@@ -1,0 +1,87 @@
+package grb
+
+import "testing"
+
+func TestVectorConstructors(t *testing.T) {
+	if !EqualVec(Ones[int64](3), []int64{1, 1, 1}) {
+		t.Fatal("Ones wrong")
+	}
+	if !EqualVec(Fill(2, int64(7)), []int64{7, 7}) {
+		t.Fatal("Fill wrong")
+	}
+	if len(Ones[int64](0)) != 0 {
+		t.Fatal("Ones(0) not empty")
+	}
+}
+
+func TestVectorArithmetic(t *testing.T) {
+	x := []int64{1, 2, 3}
+	y := []int64{4, 5, 6}
+	if !EqualVec(AddVec(x, y), []int64{5, 7, 9}) {
+		t.Fatal("AddVec wrong")
+	}
+	if !EqualVec(SubVec(y, x), []int64{3, 3, 3}) {
+		t.Fatal("SubVec wrong")
+	}
+	if !EqualVec(HadamardVec(x, y), []int64{4, 10, 18}) {
+		t.Fatal("HadamardVec wrong")
+	}
+	if !EqualVec(ScaleVec(int64(-2), x), []int64{-2, -4, -6}) {
+		t.Fatal("ScaleVec wrong")
+	}
+	if !EqualVec(ShiftVec(x, int64(10)), []int64{11, 12, 13}) {
+		t.Fatal("ShiftVec wrong")
+	}
+	if SumVec(x) != 6 || DotVec(x, y) != 32 {
+		t.Fatal("SumVec/DotVec wrong")
+	}
+	if MinVec(y) != 4 || MaxVec(y) != 6 {
+		t.Fatal("MinVec/MaxVec wrong")
+	}
+}
+
+func TestVectorLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"AddVec":      func() { AddVec([]int64{1}, []int64{1, 2}) },
+		"SubVec":      func() { SubVec([]int64{1}, []int64{1, 2}) },
+		"HadamardVec": func() { HadamardVec([]int64{1}, []int64{1, 2}) },
+		"DotVec":      func() { DotVec([]int64{1}, []int64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEqualVecLengths(t *testing.T) {
+	if EqualVec([]int64{1}, []int64{1, 2}) {
+		t.Fatal("EqualVec accepted mismatched lengths")
+	}
+	if !EqualVec([]int64{}, []int64{}) {
+		t.Fatal("EqualVec rejected two empties")
+	}
+}
+
+func TestFloatInstantiation(t *testing.T) {
+	x := []float64{0.5, 1.5}
+	y := []float64{2, 4}
+	if got := DotVec(x, y); got != 7 {
+		t.Fatalf("float DotVec = %v, want 7", got)
+	}
+	m, _ := FromDense([][]float64{{0.5, 0}, {0, 0.25}})
+	if m.At(1, 1) != 0.25 {
+		t.Fatal("float matrix At wrong")
+	}
+	v, err := MxV(m, []float64{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualVec(v, []float64{1, 1}) {
+		t.Fatalf("float MxV = %v", v)
+	}
+}

@@ -1,0 +1,128 @@
+package grbalgo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+func randomGraph(rng *rand.Rand, n int, density float64) *graph.Graph {
+	var edges []graph.Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < density {
+				edges = append(edges, graph.Edge{U: i, V: j})
+			}
+		}
+	}
+	return graph.MustNew(n, edges)
+}
+
+func TestBFSLevelsMatchesQueueBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(12), 0.25)
+		for src := 0; src < g.N(); src++ {
+			want := g.BFS(src)
+			got, err := BFSLevels(g, src)
+			if err != nil {
+				return false
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSLevelsValidation(t *testing.T) {
+	g := gen.Path(3)
+	if _, err := BFSLevels(g, -1); err == nil {
+		t.Fatal("accepted negative source")
+	}
+	if _, err := BFSLevels(g, 3); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+func TestConnectedComponentsMatchesQueue(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(12), 0.15)
+		wantLabel, wantCount := g.ConnectedComponents()
+		gotLabel, gotCount, err := ConnectedComponents(g)
+		if err != nil || gotCount != wantCount {
+			return false
+		}
+		// Labels must induce the same partition (both label by first-seen
+		// vertex order, so they should be identical).
+		for v := range wantLabel {
+			if gotLabel[v] != wantLabel[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsBipartiteMatchesColoring(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 3+rng.Intn(10), 0.3)
+		want := g.IsBipartite()
+		got, err := IsBipartite(g)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsBipartiteKnown(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want bool
+	}{
+		{"C6", gen.Cycle(6), true},
+		{"C5", gen.Cycle(5), false},
+		{"K33", gen.CompleteBipartite(3, 3).Graph, true},
+		{"petersen", gen.Petersen(), false},
+		{"tree", gen.BinaryTree(4), true},
+	}
+	for _, tc := range cases {
+		got, err := IsBipartite(tc.g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: IsBipartite = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEccentricityMatches(t *testing.T) {
+	g := gen.Grid(3, 5)
+	for v := 0; v < g.N(); v++ {
+		want := g.Eccentricity(v)
+		got, err := Eccentricity(g, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Eccentricity(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

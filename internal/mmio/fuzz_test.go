@@ -1,0 +1,57 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kronbip/internal/grb"
+)
+
+// FuzzReadMatrixMarket asserts the parser never panics and that anything it
+// accepts round-trips through the writer.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 3.5\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n-1 0 0\n")
+	f.Add("%%MatrixMarket matrix coordinate integer general\n1 1 2\n1 1 1\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrixMarket(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m, false); err != nil {
+			t.Fatalf("accepted matrix failed to write: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("writer output rejected: %v", err)
+		}
+		if !grb.Equal(m, back) {
+			t.Fatal("accepted matrix does not round-trip")
+		}
+	})
+}
+
+// FuzzReadEdgeList asserts the edge-list parser never panics.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n", 3)
+	f.Add("# c\n0\t1\n", 2)
+	f.Add("0 0\n", 1)
+	f.Add("x y\n", 2)
+	f.Fuzz(func(t *testing.T, in string, n int) {
+		if n < 0 || n > 1000 {
+			return
+		}
+		g, err := ReadEdgeList(strings.NewReader(in), n)
+		if err != nil {
+			return
+		}
+		if g.N() != n {
+			t.Fatalf("accepted graph has %d vertices, want %d", g.N(), n)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kronbip/internal/graph"
+)
+
+// ReadKonectBipartite parses a Konect `out.*` bipartite edge file — the
+// format the paper's unicode language network ships in.  Lines starting
+// with '%' are headers/comments; data lines are
+//
+//	<u> <w> [weight [timestamp]]
+//
+// with 1-based vertex ids numbered independently per side.  Weights and
+// timestamps are ignored (the paper treats the network as an unweighted
+// undirected bipartite graph); duplicate pairs collapse.  Part sizes are
+// taken from the maximum ids unless the Konect size header
+// "% <edges> <nu> <nw>" is present, in which case it wins (and is
+// validated against the data).
+func ReadKonectBipartite(r io.Reader) (*graph.Bipartite, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var pairs [][2]int
+	maxU, maxW := 0, 0
+	declaredNU, declaredNW := 0, 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			// Optional size header: "% <m> <nu> <nw>".
+			f := strings.Fields(strings.TrimLeft(line, "% "))
+			if len(f) == 3 {
+				if _, err := strconv.Atoi(f[0]); err == nil {
+					nu, err1 := strconv.Atoi(f[1])
+					nw, err2 := strconv.Atoi(f[2])
+					if err1 == nil && err2 == nil {
+						declaredNU, declaredNW = nu, nw
+					}
+				}
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("mmio: konect line %d: want at least two ids, got %q", lineNo, line)
+		}
+		u, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: konect line %d: %w", lineNo, err)
+		}
+		w, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: konect line %d: %w", lineNo, err)
+		}
+		if u < 1 || w < 1 {
+			return nil, fmt.Errorf("mmio: konect line %d: ids must be 1-based positive, got (%d,%d)", lineNo, u, w)
+		}
+		if u > maxU {
+			maxU = u
+		}
+		if w > maxW {
+			maxW = w
+		}
+		pairs = append(pairs, [2]int{u - 1, w - 1})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("mmio: konect input has no edges")
+	}
+	nu, nw := maxU, maxW
+	if declaredNU > 0 {
+		if declaredNU < maxU || declaredNW < maxW {
+			return nil, fmt.Errorf("mmio: konect size header (%d,%d) smaller than observed ids (%d,%d)", declaredNU, declaredNW, maxU, maxW)
+		}
+		nu, nw = declaredNU, declaredNW
+	}
+	return graph.NewBipartite(nu, nw, pairs)
+}

@@ -1,0 +1,109 @@
+// Package rmat implements a bipartite R-MAT generator (Chakrabarti–Zhan–
+// Faloutsos), the stochastic comparator discussed in the paper's §I: fast,
+// heavy-tailed, but with graph statistics known only in expectation — the
+// foil that motivates non-stochastic Kronecker generators with exact
+// ground truth.
+package rmat
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kronbip/internal/graph"
+)
+
+// Params configures a bipartite R-MAT instance over a 2^ScaleU × 2^ScaleW
+// adjacency rectangle.
+type Params struct {
+	ScaleU, ScaleW int // |U| = 2^ScaleU, |W| = 2^ScaleW
+	Edges          int // distinct edges to emit
+	// Quadrant probabilities; must be positive and sum to 1.  The classic
+	// skewed setting is A=0.57, B=0.19, C=0.19, D=0.05.
+	A, B, C, D float64
+	Seed       int64
+}
+
+// DefaultParams returns the classic skewed R-MAT quadrant weights for the
+// given shape.
+func DefaultParams(scaleU, scaleW, edges int, seed int64) Params {
+	return Params{ScaleU: scaleU, ScaleW: scaleW, Edges: edges,
+		A: 0.57, B: 0.19, C: 0.19, D: 0.05, Seed: seed}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.ScaleU < 0 || p.ScaleW < 0 || p.ScaleU > 30 || p.ScaleW > 30 {
+		return fmt.Errorf("rmat: scales (%d,%d) out of [0,30]", p.ScaleU, p.ScaleW)
+	}
+	if p.Edges < 0 {
+		return fmt.Errorf("rmat: negative edge count %d", p.Edges)
+	}
+	if int64(p.Edges) > int64(1)<<(uint(p.ScaleU)+uint(p.ScaleW)) {
+		return fmt.Errorf("rmat: %d edges exceed the %d available cells", p.Edges, int64(1)<<(uint(p.ScaleU)+uint(p.ScaleW)))
+	}
+	if p.A <= 0 || p.B <= 0 || p.C <= 0 || p.D <= 0 {
+		return fmt.Errorf("rmat: quadrant probabilities must be positive")
+	}
+	sum := p.A + p.B + p.C + p.D
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("rmat: quadrant probabilities sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// Generate produces a bipartite graph by repeated R-MAT descent,
+// deduplicating until exactly Edges distinct pairs are drawn.  Rectangular
+// shapes descend the shared prefix of levels jointly; surplus row levels
+// split with marginal probability A+B vs C+D, surplus column levels with
+// A+C vs B+D.
+func Generate(p Params) (*graph.Bipartite, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	nu, nw := 1<<uint(p.ScaleU), 1<<uint(p.ScaleW)
+	seen := make(map[[2]int]bool, p.Edges)
+	pairs := make([][2]int, 0, p.Edges)
+	rowP := (p.A + p.B) // marginal probability of the upper row half
+	colP := (p.A + p.C) // marginal probability of the left column half
+	for len(pairs) < p.Edges {
+		u, w := 0, 0
+		joint := p.ScaleU
+		if p.ScaleW < joint {
+			joint = p.ScaleW
+		}
+		for lvl := 0; lvl < joint; lvl++ {
+			r := rng.Float64()
+			switch {
+			case r < p.A:
+				// upper-left: high bits stay 0
+			case r < p.A+p.B:
+				w |= 1 << uint(p.ScaleW-1-lvl)
+			case r < p.A+p.B+p.C:
+				u |= 1 << uint(p.ScaleU-1-lvl)
+			default:
+				u |= 1 << uint(p.ScaleU-1-lvl)
+				w |= 1 << uint(p.ScaleW-1-lvl)
+			}
+		}
+		for lvl := joint; lvl < p.ScaleU; lvl++ {
+			if rng.Float64() >= rowP {
+				u |= 1 << uint(p.ScaleU-1-lvl)
+			}
+		}
+		for lvl := joint; lvl < p.ScaleW; lvl++ {
+			if rng.Float64() >= colP {
+				w |= 1 << uint(p.ScaleW-1-lvl)
+			}
+		}
+		key := [2]int{u, w}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pairs = append(pairs, key)
+	}
+	_ = nu
+	_ = nw
+	return graph.NewBipartite(nu, nw, pairs)
+}

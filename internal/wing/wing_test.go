@@ -1,0 +1,161 @@
+package wing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kronbip/internal/count"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+func TestDecompositionKnown(t *testing.T) {
+	// C4: the single 4-cycle gives every edge wing number 1.
+	dec, err := Decomposition(gen.Cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 4 {
+		t.Fatalf("C4 decomposition covers %d edges, want 4", len(dec))
+	}
+	for e, k := range dec {
+		if k != 1 {
+			t.Fatalf("C4 edge %v wing = %d, want 1", e, k)
+		}
+	}
+	// K33: uniform support 4 peels at level 4 everywhere.
+	dec, err = Decomposition(gen.CompleteBipartite(3, 3).Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, k := range dec {
+		if k != 4 {
+			t.Fatalf("K33 edge %v wing = %d, want 4", e, k)
+		}
+	}
+	// Trees and stars: no butterflies, wing 0 everywhere.
+	dec, err = Decomposition(gen.Star(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, k := range dec {
+		if k != 0 {
+			t.Fatalf("star edge %v wing = %d, want 0", e, k)
+		}
+	}
+	if _, err := Decomposition(gen.Complete(3)); err == nil {
+		t.Fatal("Decomposition accepted non-bipartite graph")
+	}
+}
+
+func TestMaxWing(t *testing.T) {
+	m, err := MaxWing(gen.CompleteBipartite(4, 4).Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 9 { // (4-1)(4-1)
+		t.Fatalf("K44 max wing = %d, want 9", m)
+	}
+	m, _ = MaxWing(gen.BinaryTree(3))
+	if m != 0 {
+		t.Fatalf("tree max wing = %d, want 0", m)
+	}
+}
+
+func TestKWingKnown(t *testing.T) {
+	g := gen.CompleteBipartite(3, 3).Graph
+	k4, err := KWing(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4.NumEdges() != g.NumEdges() {
+		t.Fatal("K33 4-wing should keep all edges")
+	}
+	k5, _ := KWing(g, 5)
+	if k5.NumEdges() != 0 {
+		t.Fatal("K33 5-wing should be empty")
+	}
+	if _, err := KWing(gen.Cycle(5), 1); err == nil {
+		t.Fatal("KWing accepted non-bipartite graph")
+	}
+}
+
+// TestDecompositionMatchesKWing is the structural cross-check: for every
+// level k, the edges with wing number ≥ k must be exactly the edges of the
+// independently computed k-wing subgraph.
+func TestDecompositionMatchesKWing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nu, nw := 3+rng.Intn(3), 3+rng.Intn(3)
+		var pairs [][2]int
+		for u := 0; u < nu; u++ {
+			for w := 0; w < nw; w++ {
+				if rng.Float64() < 0.6 {
+					pairs = append(pairs, [2]int{u, w})
+				}
+			}
+		}
+		b, err := graph.NewBipartite(nu, nw, pairs)
+		if err != nil {
+			return false
+		}
+		dec, err := Decomposition(b.Graph)
+		if err != nil {
+			return false
+		}
+		var maxK int64
+		for _, k := range dec {
+			if k > maxK {
+				maxK = k
+			}
+		}
+		for k := int64(0); k <= maxK+1; k++ {
+			kw, err := KWing(b.Graph, k)
+			if err != nil {
+				return false
+			}
+			inKWing := map[graph.Edge]bool{}
+			for _, e := range kw.Edges() {
+				inKWing[e] = true
+			}
+			for e, w := range dec {
+				if (w >= k) != inKWing[e] {
+					return false
+				}
+			}
+			n := 0
+			for _, w := range dec {
+				if w >= k {
+					n++
+				}
+			}
+			if n != len(inKWing) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWingNumberAtMostSupport: an edge's wing number never exceeds its
+// butterfly support in the full graph.
+func TestWingNumberAtMostSupport(t *testing.T) {
+	g := gen.Crown(5).Graph
+	dec, err := Decomposition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := count.EdgeButterflies(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, k := range dec {
+		if k > sup[e] {
+			t.Fatalf("edge %v wing %d exceeds support %d", e, k, sup[e])
+		}
+	}
+}
