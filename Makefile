@@ -1,0 +1,34 @@
+# Development workflow for kronbip.  Pure Go 1.22+, no dependencies.
+#
+#   make            - vet + build + full test suite
+#   make race       - race-detector pass over the concurrent packages
+#   make bench      - streaming + engine benchmarks
+#   make check      - everything (what CI should run)
+
+GO ?= go
+
+# Packages with nontrivial concurrency: everything scheduled on the
+# internal/exec engine plus the engine itself.
+RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist
+
+.PHONY: all vet build test race bench check
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkStream_' -benchtime 10x .
+	$(GO) test -bench . -benchtime 100x ./internal/exec
+
+check: vet build test race

@@ -10,6 +10,9 @@
 package kronbip_test
 
 import (
+	"context"
+	"runtime"
+	"sync"
 	"testing"
 
 	"kronbip/internal/approx"
@@ -17,6 +20,7 @@ import (
 	"kronbip/internal/core"
 	"kronbip/internal/count"
 	"kronbip/internal/dist"
+	"kronbip/internal/exec"
 	"kronbip/internal/experiments"
 	"kronbip/internal/gen"
 	"kronbip/internal/grb"
@@ -480,4 +484,189 @@ func BenchmarkAblation_BFSCounter(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Execution engine: streaming throughput (PR 1 tentpole) ---
+//
+// Before/after benches for the internal/exec refactor: the sharded pooled
+// streaming path must be no slower than the serial seed path per edge, and
+// the cancellable context plumbing must not tax the hot loop.
+
+// BenchmarkStream_EachEdgeSerial is the seed-equivalent baseline: one
+// goroutine walking the whole edge set.
+func BenchmarkStream_EachEdgeSerial(b *testing.B) {
+	p := unicodeProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		p.EachEdge(func(v, w int) bool { n++; return true })
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_EachEdgeContext is the same walk through the cancellable
+// context path with a background context — the plumbing overhead bench.
+func BenchmarkStream_EachEdgeContext(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		if err := p.EachEdgeContext(ctx, func(v, w int) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// seedEachEdgeShard reproduces the seed's EachEdgeShard loop exactly:
+// `shard*rows/nshards` ranges and per-edge IndexOf arithmetic, with the
+// yield called indirectly.  noinline keeps the machine-code structure of
+// the seed binary, where EachEdgeShard was a non-inlinable method and
+// nothing could be hoisted across the yield calls.
+//
+//go:noinline
+func seedEachEdgeShard(p *core.Product, shard, nshards int, yield func(v, w int) bool) {
+	ea := p.FactorA().G.Edges()
+	eb := p.FactorB().G.Edges()
+	rows := len(ea)
+	if p.Mode() == core.ModeSelfLoopFactor {
+		rows += p.FactorA().N()
+	}
+	lo, hi := shard*rows/nshards, (shard+1)*rows/nshards
+	for r := lo; r < hi; r++ {
+		if r < len(ea) {
+			ae := ea[r]
+			for _, be := range eb {
+				if !yield(p.IndexOf(ae.U, be.U), p.IndexOf(ae.V, be.V)) {
+					return
+				}
+				if !yield(p.IndexOf(ae.U, be.V), p.IndexOf(ae.V, be.U)) {
+					return
+				}
+			}
+			continue
+		}
+		i := r - len(ea)
+		for _, be := range eb {
+			if !yield(p.IndexOf(i, be.U), p.IndexOf(i, be.V)) {
+				return
+			}
+		}
+	}
+}
+
+// seedStreamEdgesParallel is a faithful reconstruction of the seed's
+// pre-engine StreamEdgesParallel — hand-rolled WaitGroup pool, one
+// goroutine per shard, and the seed's error-capturing yield adapter over
+// seedEachEdgeShard.  Kept only as the "before" bound for the engine
+// benches below.
+func seedStreamEdgesParallel(p *core.Product, nshards int, sinkFor func(shard int) func(v, w int) error) error {
+	errs := make([]error, nshards)
+	var wg sync.WaitGroup
+	for s := 0; s < nshards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sink := sinkFor(s)
+			var sinkErr error
+			seedEachEdgeShard(p, s, nshards, func(v, w int) bool {
+				if err := sink(v, w); err != nil {
+					sinkErr = err
+					return false
+				}
+				return true
+			})
+			errs[s] = sinkErr
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BenchmarkStream_SeedHandRolled runs the reconstructed seed
+// implementation with plain per-shard counter sinks.
+func BenchmarkStream_SeedHandRolled(b *testing.B) {
+	p := unicodeProduct(b)
+	nshards := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := make([]int64, nshards)
+		err := seedStreamEdgesParallel(p, nshards, func(s int) func(v, w int) error {
+			return func(v, w int) error { counts[s]++; return nil }
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for _, c := range counts {
+			n += c
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_ShardedEngine streams all shards concurrently on the
+// exec engine, each shard counting into its own plain local counter —
+// the same sink shape the seed's StreamEdgesParallel callers used.
+func BenchmarkStream_ShardedEngine(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	nshards := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := make([]int64, nshards)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return exec.SinkFunc(func(v, w int) error { counts[s]++; return nil })
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for _, c := range counts {
+			n += c
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_ShardedBufferedFanIn streams all shards through pooled
+// per-shard buffers into one shared locked sink — the multi-writer shape
+// cmd/kronbip uses when several shards feed one consumer.
+func BenchmarkStream_ShardedBufferedFanIn(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	nshards := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total exec.CountingSink
+		shared := exec.NewLockedSink(&total)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return exec.NewBufferedSink(shared)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total.Count() != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", total.Count(), p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
 }

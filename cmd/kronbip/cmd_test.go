@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -47,21 +51,23 @@ func TestCmdTruth(t *testing.T) {
 }
 
 func TestCmdVerify(t *testing.T) {
-	if err := cmdVerify([]string{"-factor", "biclique3x4", "-samples", "0"}); err != nil {
+	ctx := context.Background()
+	if err := cmdVerify(ctx, []string{"-factor", "biclique3x4", "-samples", "0"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdVerify([]string{"-factor", "crown3", "-samples", "10"}); err != nil {
+	if err := cmdVerify(ctx, []string{"-factor", "crown3", "-samples", "10"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdVerify([]string{"-factor", "bogus"}); err == nil {
+	if err := cmdVerify(ctx, []string{"-factor", "bogus"}); err == nil {
 		t.Fatal("accepted bad factor")
 	}
 }
 
 func TestCmdGenerate(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	out := filepath.Join(dir, "edges.tsv")
-	if err := cmdGenerate([]string{"-factor", "crown3", "-edges-out", out}); err != nil {
+	if err := cmdGenerate(ctx, []string{"-factor", "crown3", "-edges-out", out, "-shards", "1"}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -75,12 +81,12 @@ func TestCmdGenerate(t *testing.T) {
 	}
 	// Sharded output.
 	prefix := filepath.Join(dir, "sharded")
-	if err := cmdGenerate([]string{"-factor", "crown3", "-edges-out", prefix, "-shards", "4"}); err != nil {
+	if err := cmdGenerate(ctx, []string{"-factor", "crown3", "-edges-out", prefix, "-shards", "4"}); err != nil {
 		t.Fatal(err)
 	}
 	total := 0
 	for s := 0; s < 4; s++ {
-		d, err := os.ReadFile(prefix + ".shard" + string(rune('0'+s)))
+		d, err := os.ReadFile(fmt.Sprintf("%s.shard%d", prefix, s))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,11 +95,44 @@ func TestCmdGenerate(t *testing.T) {
 	if total != 108 {
 		t.Fatalf("shards hold %d edges, want 108", total)
 	}
-	// Shards without a file prefix are rejected.
-	if err := cmdGenerate([]string{"-factor", "crown3", "-shards", "2"}); err == nil {
+	// -shards unset with a file destination defaults to GOMAXPROCS shards.
+	autoPrefix := filepath.Join(dir, "auto")
+	if err := cmdGenerate(ctx, []string{"-factor", "crown3", "-edges-out", autoPrefix}); err != nil {
+		t.Fatal(err)
+	}
+	autoShards := runtime.GOMAXPROCS(0)
+	total = 0
+	if autoShards == 1 {
+		d, err := os.ReadFile(autoPrefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = strings.Count(string(d), "\n")
+	} else {
+		for s := 0; s < autoShards; s++ {
+			d, err := os.ReadFile(fmt.Sprintf("%s.shard%d", autoPrefix, s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += strings.Count(string(d), "\n")
+		}
+	}
+	if total != 108 {
+		t.Fatalf("auto-sharded output holds %d edges, want 108", total)
+	}
+	// Explicit multi-sharding without a file prefix is rejected with a
+	// helpful error, not silently run single-sharded.
+	if err := cmdGenerate(ctx, []string{"-factor", "crown3", "-shards", "2"}); err == nil {
 		t.Fatal("accepted -shards with stdout")
 	}
-	if err := cmdGenerate([]string{"-factor", "bogus"}); err == nil {
+	if err := cmdGenerate(ctx, []string{"-factor", "bogus"}); err == nil {
 		t.Fatal("accepted bad factor")
+	}
+	// A cancelled context aborts generation with ctx.Err().
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = cmdGenerate(cctx, []string{"-factor", "crown3", "-edges-out", filepath.Join(dir, "cancelled"), "-shards", "2"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled generate returned %v, want context.Canceled", err)
 	}
 }

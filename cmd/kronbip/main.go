@@ -23,18 +23,28 @@
 // path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES> (bipartite
 // scale-free).  -mode selects selfloop ((A+I)⊗A-style, default) or
 // nonbip (K-odd ⊗ B; pairs the bipartite factor with a 5-cycle A).
+//
+// Generation streams shards in parallel on the internal/exec engine:
+// -shards defaults to GOMAXPROCS (stdout output forces one shard), and
+// -timeout bounds the run.  SIGINT/SIGTERM cancel cleanly mid-stream —
+// partial output is reported as such and the process exits 130.
 package main
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"kronbip/internal/core"
 	"kronbip/internal/count"
+	"kronbip/internal/exec"
 	"kronbip/internal/gen"
 	"kronbip/internal/graph"
 )
@@ -44,17 +54,23 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Every subcommand runs under a signal-aware context: Ctrl-C or SIGTERM
+	// cancels mid-generation and the engine unwinds with a partial-work
+	// error instead of being killed with buffers in flight.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
 	case "generate":
-		err = cmdGenerate(args)
+		err = cmdGenerate(ctx, args)
 	case "stats":
 		err = cmdStats(args)
 	case "truth":
 		err = cmdTruth(args)
 	case "verify":
-		err = cmdVerify(args)
+		err = cmdVerify(ctx, args)
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -63,6 +79,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "kronbip %s: aborted (%v); output is partial\n", cmd, err)
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "kronbip %s: %v\n", cmd, err)
 		os.Exit(1)
 	}
@@ -161,58 +181,89 @@ func buildProduct(factorSpec, mode string, seed int64) (*core.Product, error) {
 	return core.NewRelaxedWithParts(a, b, m)
 }
 
-func cmdGenerate(args []string) error {
+func cmdGenerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
 	factor := fs.String("factor", "unicode", "factor spec")
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	out := fs.String("edges-out", "-", "edge list destination ('-' for stdout)")
-	shards := fs.Int("shards", 1, "write N shard files in parallel (<edges-out>.shardK); requires -edges-out != '-'")
+	shards := fs.Int("shards", 0, "shard files to write in parallel (<edges-out>.shardK); 0 = GOMAXPROCS, 1 = single file; needs -edges-out for N>1")
+	timeout := fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
 	fs.Parse(args)
 
 	p, err := buildProduct(*factor, *mode, *seed)
 	if err != nil {
 		return err
 	}
-	if *shards > 1 {
-		if *out == "-" {
-			return fmt.Errorf("-shards requires -edges-out to name a file prefix")
-		}
-		return generateSharded(p, *out, *shards)
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+
+	// Resolve -shards: unset/<=0 means "use every core".  Stdout can only
+	// take a single interleaving-free stream, so sharded output needs a
+	// file prefix; explicitly asking for both is an error rather than a
+	// silent fallback to single-sharded output.
+	nshards := *shards
+	if nshards <= 0 {
+		nshards = runtime.GOMAXPROCS(0)
+	}
+	if *out == "-" {
+		if *shards > 1 {
+			return fmt.Errorf("-shards %d writes <prefix>.shardK files and cannot go to stdout; pass -edges-out <prefix> or -shards 1", *shards)
+		}
+		nshards = 1
+	}
+	if nshards == 1 {
+		return generateSingle(ctx, p, *out)
+	}
+	return generateSharded(ctx, p, *out, nshards)
+}
+
+// generateSingle streams the whole edge set to one destination ('-' for
+// stdout) through the engine's TSV sink, cancellably.
+func generateSingle(ctx context.Context, p *core.Product, out string) error {
 	w := os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	bw := bufio.NewWriterSize(w, 1<<20)
+	tsv := exec.NewTSVSink(w)
+	var cnt exec.CountingSink
+	sink := exec.MultiSink{tsv, &cnt}
 	var werr error
-	var n int64
-	p.EachEdge(func(v, u int) bool {
-		_, werr = fmt.Fprintf(bw, "%d\t%d\n", v, u)
-		n++
+	err := p.EachEdgeContext(ctx, func(v, u int) bool {
+		werr = sink.Edge(v, u)
 		return werr == nil
 	})
+	if err != nil {
+		return err
+	}
 	if werr != nil {
 		return werr
 	}
-	if err := bw.Flush(); err != nil {
+	if err := exec.Finish(sink); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%v\nstreamed %d edges; global 4-cycles (ground truth): %d\n", p, n, p.GlobalFourCycles())
+	fmt.Fprintf(os.Stderr, "%v\nstreamed %d edges; global 4-cycles (ground truth): %d\n", p, cnt.Count(), p.GlobalFourCycles())
 	return nil
 }
 
-// generateSharded writes the edge set as N shard files concurrently, one
-// goroutine per shard — the distributed-generation shape of the paper's
-// future-work discussion, in-process.
-func generateSharded(p *core.Product, prefix string, shards int) error {
+// generateSharded writes the edge set as N shard files concurrently on the
+// engine's bounded worker pool — the distributed-generation shape of the
+// paper's future-work discussion, in-process.  Cancellation (Ctrl-C,
+// -timeout) aborts all shards promptly, leaving partial shard files.
+func generateSharded(ctx context.Context, p *core.Product, prefix string, shards int) error {
+	if prefix == "-" {
+		return fmt.Errorf("sharded output needs -edges-out to name a file prefix")
+	}
 	files := make([]*os.File, shards)
-	writers := make([]*bufio.Writer, shards)
+	sinks := make([]exec.Sink, shards)
 	for s := 0; s < shards; s++ {
 		f, err := os.Create(fmt.Sprintf("%s.shard%d", prefix, s))
 		if err != nil {
@@ -220,22 +271,13 @@ func generateSharded(p *core.Product, prefix string, shards int) error {
 		}
 		defer f.Close()
 		files[s] = f
-		writers[s] = bufio.NewWriterSize(f, 1<<20)
+		sinks[s] = exec.NewTSVSink(f)
 	}
-	err := p.StreamEdgesParallel(shards, func(s int) func(v, w int) error {
-		w := writers[s]
-		return func(a, b int) error {
-			_, werr := fmt.Fprintf(w, "%d\t%d\n", a, b)
-			return werr
-		}
+	err := p.StreamEdgesParallelContext(ctx, shards, func(s int) exec.Sink {
+		return sinks[s]
 	})
 	if err != nil {
 		return err
-	}
-	for s, w := range writers {
-		if err := w.Flush(); err != nil {
-			return fmt.Errorf("shard %d: %w", s, err)
-		}
 	}
 	fmt.Fprintf(os.Stderr, "%v\nwrote %d shards (%d edges total); global 4-cycles (ground truth): %d\n",
 		p, shards, p.NumEdges(), p.GlobalFourCycles())
@@ -344,7 +386,7 @@ func cmdTruth(args []string) error {
 	return nil
 }
 
-func cmdVerify(args []string) error {
+func cmdVerify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
 	factor := fs.String("factor", "crown4", "factor spec")
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
@@ -357,13 +399,13 @@ func cmdVerify(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := p.Materialize(*workers)
+	g, err := p.MaterializeContext(ctx, *workers)
 	if err != nil {
 		return err
 	}
 	bad := 0
 	if *samples == 0 {
-		brute, err := count.VertexButterfliesParallel(g, *workers)
+		brute, err := count.VertexButterfliesParallelContext(ctx, g, *workers)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -279,11 +280,18 @@ func (p *Product) w2A(i int) int64 {
 // kernel — O(nnz(A)·nnz(B)) time and memory — for validation and testing.
 // workers <= 0 selects GOMAXPROCS.
 func (p *Product) Materialize(workers int) (*graph.Graph, error) {
+	return p.MaterializeContext(context.Background(), workers)
+}
+
+// MaterializeContext is Materialize under a context: the Kronecker kernel
+// runs on the shared exec engine, so cancellation aborts the build promptly
+// with ctx.Err().
+func (p *Product) MaterializeContext(ctx context.Context, workers int) (*graph.Graph, error) {
 	ma := p.a.G.Adjacency()
 	if p.mode == ModeSelfLoopFactor {
 		ma = p.a.G.WithFullSelfLoops().Adjacency()
 	}
-	c, err := grb.KronParallel(ma, p.b.G.Adjacency(), workers)
+	c, err := grb.KronParallelContext(ctx, ma, p.b.G.Adjacency(), workers)
 	if err != nil {
 		return nil, err
 	}
@@ -296,27 +304,7 @@ func (p *Product) Materialize(workers int) (*graph.Graph, error) {
 // (i,l)–(j,k); in mode (ii) each (self loop i, {k,l}) contributes
 // (i,k)–(i,l).  Iteration stops early if yield returns false.
 func (p *Product) EachEdge(yield func(v, w int) bool) {
-	ea := p.a.G.Edges()
-	eb := p.b.G.Edges()
-	for _, ae := range ea {
-		for _, be := range eb {
-			if !yield(p.IndexOf(ae.U, be.U), p.IndexOf(ae.V, be.V)) {
-				return
-			}
-			if !yield(p.IndexOf(ae.U, be.V), p.IndexOf(ae.V, be.U)) {
-				return
-			}
-		}
-	}
-	if p.mode == ModeSelfLoopFactor {
-		for i := 0; i < p.a.N(); i++ {
-			for _, be := range eb {
-				if !yield(p.IndexOf(i, be.U), p.IndexOf(i, be.V)) {
-					return
-				}
-			}
-		}
-	}
+	p.streamRows(0, p.numRows(), yield)
 }
 
 // String summarizes the product.

@@ -1,19 +1,29 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sync"
+
+	"kronbip/internal/exec"
 )
 
 // Sharded, parallel edge streaming.  Generation is embarrassingly parallel
 // in the factor-edge pairs — the property the paper's distributed-GraphBLAS
 // future work relies on — so the undirected edge set of C is split into
 // nshards deterministic, disjoint slices that can be produced concurrently
-// and written to independent sinks.
+// and written to independent sinks.  All scheduling runs on the shared
+// engine in internal/exec, so streams are cancellable: cancelling the
+// context (deadline, Ctrl-C) aborts mid-generation within one polling
+// stride and surfaces ctx.Err(), leaving whatever edges were already
+// delivered as discardable partial work.
 //
 // Work layout: "rows" are the |E_A| factor edges followed (mode (ii)) by
 // the n_A self loops; each row crosses all |E_B| factor edges, a factor
 // edge row emitting two product edges per pair and a self-loop row one.
+
+// streamPollStride bounds how many product edges may be emitted after a
+// cancellation before the stream notices it.
+const streamPollStride = 1024
 
 // numRows returns the sharding row count.
 func (p *Product) numRows() int {
@@ -24,60 +34,108 @@ func (p *Product) numRows() int {
 	return rows
 }
 
+// shardRange validates (shard, nshards) and returns the shard's half-open
+// row range.  Bounds come from exec.Stripe, which never forms shard*rows,
+// so huge factor edge counts with many shards cannot overflow.
+func (p *Product) shardRange(shard, nshards int) (lo, hi int, err error) {
+	if nshards <= 0 {
+		return 0, 0, fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	}
+	if shard < 0 || shard >= nshards {
+		return 0, 0, fmt.Errorf("core: shard %d out of range [0,%d)", shard, nshards)
+	}
+	lo, hi = exec.Stripe(shard, nshards, p.numRows())
+	return lo, hi, nil
+}
+
 // EachEdgeShard streams shard `shard` of `nshards` disjoint slices of the
 // product's undirected edge set.  The union over all shards is exactly the
 // EachEdge stream; edges never repeat across shards.  Iteration stops
 // early if yield returns false.
 func (p *Product) EachEdgeShard(shard, nshards int, yield func(v, w int) bool) error {
-	if nshards <= 0 {
-		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	lo, hi, err := p.shardRange(shard, nshards)
+	if err != nil {
+		return err
 	}
-	if shard < 0 || shard >= nshards {
-		return fmt.Errorf("core: shard %d out of range [0,%d)", shard, nshards)
+	p.streamRows(lo, hi, yield)
+	return nil
+}
+
+// EachEdgeShardContext is EachEdgeShard under a context.  Cancellation is
+// checked at every row boundary and every streamPollStride emitted edges;
+// on cancellation the stream stops without invoking yield again and
+// returns ctx.Err().  An edge is never emitted twice, cancelled or not.
+// A non-cancellable context (context.Background) takes the zero-overhead
+// EachEdgeShard loop.
+func (p *Product) EachEdgeShardContext(ctx context.Context, shard, nshards int, yield func(v, w int) bool) error {
+	lo, hi, err := p.shardRange(shard, nshards)
+	if err != nil {
+		return err
 	}
-	rows := p.numRows()
-	lo := shard * rows / nshards
-	hi := (shard + 1) * rows / nshards
-	if lo >= hi {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ctx.Done() == nil {
+		p.streamRows(lo, hi, yield)
 		return nil
 	}
+	poll := exec.NewPoller(ctx, streamPollStride)
+	cancelled := false
+	p.streamRows(lo, hi, func(v, w int) bool {
+		if poll.Cancelled() {
+			cancelled = true
+			return false
+		}
+		return yield(v, w)
+	})
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// streamRows walks rows [lo, hi) of the shard layout, yielding each product
+// edge; this is the allocation-free hot loop every streaming path shares.
+// The vertex arithmetic is IndexOf with n_B hoisted out of the loop.
+func (p *Product) streamRows(lo, hi int, yield func(v, w int) bool) {
 	ea := p.a.G.Edges()
 	eb := p.b.G.Edges()
+	nb := p.b.N()
 	for r := lo; r < hi; r++ {
 		if r < len(ea) {
-			ae := ea[r]
+			au, av := ea[r].U*nb, ea[r].V*nb
 			for _, be := range eb {
-				if !yield(p.IndexOf(ae.U, be.U), p.IndexOf(ae.V, be.V)) {
-					return nil
+				if !yield(au+be.U, av+be.V) {
+					return
 				}
-				if !yield(p.IndexOf(ae.U, be.V), p.IndexOf(ae.V, be.U)) {
-					return nil
+				if !yield(au+be.V, av+be.U) {
+					return
 				}
 			}
 			continue
 		}
-		i := r - len(ea) // self-loop row (mode (ii) only)
+		i := (r - len(ea)) * nb // self-loop row (mode (ii) only)
 		for _, be := range eb {
-			if !yield(p.IndexOf(i, be.U), p.IndexOf(i, be.V)) {
-				return nil
+			if !yield(i+be.U, i+be.V) {
+				return
 			}
 		}
 	}
-	return nil
+}
+
+// EachEdgeContext streams the whole edge set (the EachEdge order) under a
+// context; see EachEdgeShardContext for the cancellation contract.
+func (p *Product) EachEdgeContext(ctx context.Context, yield func(v, w int) bool) error {
+	return p.EachEdgeShardContext(ctx, 0, 1, yield)
 }
 
 // ShardEdgeCount returns the number of undirected edges shard `shard` of
 // `nshards` will emit, without streaming.
 func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
-	if nshards <= 0 {
-		return 0, fmt.Errorf("core: nshards must be positive, got %d", nshards)
+	lo, hi, err := p.shardRange(shard, nshards)
+	if err != nil {
+		return 0, err
 	}
-	if shard < 0 || shard >= nshards {
-		return 0, fmt.Errorf("core: shard %d out of range [0,%d)", shard, nshards)
-	}
-	rows := p.numRows()
-	lo := shard * rows / nshards
-	hi := (shard + 1) * rows / nshards
 	nea := p.a.G.NumEdges()
 	eb := int64(p.b.G.NumEdges())
 	var n int64
@@ -91,41 +149,52 @@ func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
 	return n, nil
 }
 
-// StreamEdgesParallel streams all shards concurrently, one goroutine per
-// shard, delivering each shard to the sink returned by sinkFor(shard).
-// Sinks are used from exactly one goroutine each; a non-nil error from any
-// sink aborts that shard and is returned (first error wins).
+// StreamEdgesParallel streams all shards concurrently, delivering each
+// shard to the sink returned by sinkFor(shard).  Sinks are used from
+// exactly one goroutine each; a non-nil error from any sink aborts the
+// remaining shards and is returned (first error wins).
+//
+// Deprecated-style compatibility wrapper: new callers should use
+// StreamEdgesParallelContext, which adds cancellation and the exec.Sink
+// vocabulary.
 func (p *Product) StreamEdgesParallel(nshards int, sinkFor func(shard int) func(v, w int) error) error {
+	return p.StreamEdgesParallelContext(context.Background(), nshards, func(shard int) exec.Sink {
+		return exec.SinkFunc(sinkFor(shard))
+	})
+}
+
+// StreamEdgesParallelContext streams all shards on the exec engine's
+// bounded worker pool.  Each shard's edges go to the sink returned by
+// sinkFor(shard); a sink is used from one goroutine at a time and is
+// flushed (exec.Finish) when its shard completes.  The first sink or
+// generation error cancels the remaining shards and is returned; if ctx
+// is cancelled mid-generation the stream aborts promptly with ctx.Err()
+// and already-written sink output is partial work for the caller to
+// discard.
+func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, sinkFor func(shard int) exec.Sink) error {
 	if nshards <= 0 {
 		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
 	}
-	errs := make([]error, nshards)
-	var wg sync.WaitGroup
-	for s := 0; s < nshards; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			sink := sinkFor(s)
-			var sinkErr error
-			argErr := p.EachEdgeShard(s, nshards, func(v, w int) bool {
-				if err := sink(v, w); err != nil {
-					sinkErr = err
-					return false
-				}
-				return true
-			})
-			if argErr != nil {
-				errs[s] = argErr
-			} else {
-				errs[s] = sinkErr
-			}
-		}(s)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	return exec.Sharded(ctx, nshards, func(ctx context.Context, s int) error {
+		sink := sinkFor(s)
+		edge := sink.Edge
+		if f, ok := sink.(exec.SinkFunc); ok {
+			edge = f // skip the interface dispatch in the per-edge hot path
 		}
-	}
-	return nil
+		var sinkErr error
+		err := p.EachEdgeShardContext(ctx, s, nshards, func(v, w int) bool {
+			if e := edge(v, w); e != nil {
+				sinkErr = e
+				return false
+			}
+			return true
+		})
+		switch {
+		case err != nil:
+			return err
+		case sinkErr != nil:
+			return sinkErr
+		}
+		return exec.Finish(sink)
+	})
 }

@@ -1,11 +1,17 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"kronbip/internal/exec"
 	"kronbip/internal/gen"
 	"kronbip/internal/graph"
 )
@@ -168,6 +174,178 @@ func TestStreamEdgesParallel(t *testing.T) {
 				t.Fatalf("%s: parallel stream differs at %d", name, i)
 			}
 		}
+	}
+}
+
+// TestEachEdgeShardContextPartitionProperty is the randomized version of
+// the exactness property: for arbitrary nshards, the union of all shards
+// under a live context equals the EachEdge stream exactly, with no edge in
+// two shards.
+func TestEachEdgeShardContextPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for name, p := range testProducts(t) {
+		want := collectEdges(p)
+		for trial := 0; trial < 20; trial++ {
+			nshards := 1 + rng.Intn(2*p.numRows())
+			ctx := context.Background()
+			var got []graph.Edge
+			seen := map[graph.Edge]bool{}
+			for s := 0; s < nshards; s++ {
+				if err := p.EachEdgeShardContext(ctx, s, nshards, func(v, w int) bool {
+					if v > w {
+						v, w = w, v
+					}
+					e := graph.Edge{U: v, V: w}
+					if seen[e] {
+						t.Fatalf("%s nshards=%d: edge %v in two shards", name, nshards, e)
+					}
+					seen[e] = true
+					got = append(got, e)
+					return true
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sortEdges(got)
+			if len(got) != len(want) {
+				t.Fatalf("%s nshards=%d: %d edges, want %d", name, nshards, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s nshards=%d: edge sets differ at %d", name, nshards, i)
+				}
+			}
+		}
+	}
+}
+
+// bigStreamProduct builds a product whose rows are long enough that the
+// in-row cancellation poller (stride streamPollStride) must fire before a
+// row completes.
+func bigStreamProduct(t *testing.T) *Product {
+	t.Helper()
+	p, err := New(gen.Star(4), gen.CompleteBipartite(40, 40).Graph, ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEachEdgeShardContextCancelMidStream cancels from inside the yield
+// and checks the contract: the stream stops within one polling stride,
+// returns ctx.Err(), and never emits an edge twice.
+func TestEachEdgeShardContextCancelMidStream(t *testing.T) {
+	p := bigStreamProduct(t)
+	const cancelAt = 10
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	seen := map[graph.Edge]bool{}
+	err := p.EachEdgeShardContext(ctx, 0, 1, func(v, w int) bool {
+		if v > w {
+			v, w = w, v
+		}
+		e := graph.Edge{U: v, V: w}
+		if seen[e] {
+			t.Fatalf("edge %v emitted twice", e)
+		}
+		seen[e] = true
+		emitted++
+		if emitted == cancelAt {
+			cancel()
+		}
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if int64(emitted) >= p.NumEdges() {
+		t.Fatal("cancellation did not stop the stream early")
+	}
+	if emitted > cancelAt+2*streamPollStride {
+		t.Fatalf("stream emitted %d edges after cancellation at %d (stride %d): not prompt",
+			emitted-cancelAt, cancelAt, streamPollStride)
+	}
+}
+
+// TestEachEdgeShardContextPreCancelled: a dead context yields no edges at
+// all.
+func TestEachEdgeShardContextPreCancelled(t *testing.T) {
+	p := testProducts(t)["mode1"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := p.EachEdgeShardContext(ctx, 0, 2, func(v, w int) bool {
+		t.Fatal("yield ran under a pre-cancelled context")
+		return true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestStreamEdgesParallelContextCancel cancels mid-generation from a sink
+// and requires the parallel stream to surface ctx.Err().
+func TestStreamEdgesParallelContextCancel(t *testing.T) {
+	p := bigStreamProduct(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var total atomic.Int64
+	err := p.StreamEdgesParallelContext(ctx, 4, func(s int) exec.Sink {
+		return exec.SinkFunc(func(v, w int) error {
+			if total.Add(1) == 25 {
+				cancel()
+			}
+			return nil
+		})
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if total.Load() >= p.NumEdges() {
+		t.Fatal("cancellation did not abort the parallel stream early")
+	}
+}
+
+// TestStreamEdgesParallelContextDeadline: an already-expired deadline
+// aborts before any edge is generated.
+func TestStreamEdgesParallelContextDeadline(t *testing.T) {
+	p := testProducts(t)["mode2"]
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	err := p.StreamEdgesParallelContext(ctx, 3, func(s int) exec.Sink {
+		return exec.SinkFunc(func(v, w int) error {
+			t.Error("edge generated after deadline")
+			return nil
+		})
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestStreamEdgesParallelContextFlushes verifies shard sinks are flushed
+// (exec.Finish) on normal completion.
+func TestStreamEdgesParallelContextFlushes(t *testing.T) {
+	p := testProducts(t)["mode2"]
+	const nshards = 3
+	var mu sync.Mutex
+	delivered := 0
+	sinks := make([]exec.Sink, nshards)
+	for s := range sinks {
+		sinks[s] = exec.NewBufferedSink(exec.SinkFunc(func(v, w int) error {
+			mu.Lock()
+			delivered++
+			mu.Unlock()
+			return nil
+		}))
+	}
+	if err := p.StreamEdgesParallelContext(context.Background(), nshards, func(s int) exec.Sink {
+		return sinks[s]
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if int64(delivered) != p.NumEdges() {
+		t.Fatalf("delivered %d edges after flush, want %d", delivered, p.NumEdges())
 	}
 }
 

@@ -11,12 +11,16 @@
 package count
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"kronbip/internal/exec"
 	"kronbip/internal/graph"
 )
+
+// countPollStride bounds how many source vertices a counting worker may
+// process after a cancellation before it notices and aborts.
+const countPollStride = 64
 
 // VertexButterflies returns, for every vertex v, the number of 4-cycles
 // that contain v (the paper's s_A, Def. 8).  The graph must be simple
@@ -57,54 +61,58 @@ func VertexButterflies(g *graph.Graph) ([]int64, error) {
 // VertexButterfliesParallel is VertexButterflies with source vertices
 // partitioned across workers.  workers <= 0 selects GOMAXPROCS.
 func VertexButterfliesParallel(g *graph.Graph, workers int) ([]int64, error) {
+	return VertexButterfliesParallelContext(context.Background(), g, workers)
+}
+
+// VertexButterfliesParallelContext is VertexButterfliesParallel on the
+// shared exec engine: workers pull disjoint source-vertex stripes, use
+// pooled per-worker accumulators, and abort with ctx.Err() within
+// countPollStride vertices of a cancellation.
+func VertexButterfliesParallelContext(ctx context.Context, g *graph.Graph, workers int) ([]int64, error) {
 	if g.NumSelfLoops() > 0 {
 		return nil, fmt.Errorf("count: graph has self loops; remove them first")
 	}
 	n := g.N()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if workers == 1 || n <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return VertexButterflies(g)
 	}
 	s := make([]int64, n)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			c := make([]int64, n)
-			touched := make([]int, 0, 64)
-			for u := lo; u < hi; u++ {
-				touched = touched[:0]
-				for _, v := range g.Neighbors(u) {
-					for _, w := range g.Neighbors(v) {
-						if w == u {
-							continue
-						}
-						if c[w] == 0 {
-							touched = append(touched, w)
-						}
-						c[w]++
-					}
-				}
-				var total int64
-				for _, w := range touched {
-					total += c[w] * (c[w] - 1) / 2
-					c[w] = 0
-				}
-				s[u] = total
+	err := exec.Ranges(ctx, n, workers, func(ctx context.Context, _, lo, hi int) error {
+		poll := exec.NewPoller(ctx, countPollStride)
+		c := exec.GetInt64s(n)
+		defer exec.PutInt64s(c)
+		touched := make([]int, 0, 64)
+		for u := lo; u < hi; u++ {
+			if poll.Cancelled() {
+				return poll.Err()
 			}
-		}(lo, hi)
+			touched = touched[:0]
+			for _, v := range g.Neighbors(u) {
+				for _, w := range g.Neighbors(v) {
+					if w == u {
+						continue
+					}
+					if c[w] == 0 {
+						touched = append(touched, w)
+					}
+					c[w]++
+				}
+			}
+			var total int64
+			for _, w := range touched {
+				total += c[w] * (c[w] - 1) / 2
+				c[w] = 0
+			}
+			s[u] = total
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	return s, nil
 }
 
@@ -244,62 +252,67 @@ func EdgeButterflies(g *graph.Graph) (map[graph.Edge]int64, error) {
 // (those whose smaller endpoint falls in its range) and writes into its own
 // map, merged at the end.  workers <= 0 selects GOMAXPROCS.
 func EdgeButterfliesParallel(g *graph.Graph, workers int) (map[graph.Edge]int64, error) {
+	return EdgeButterfliesParallelContext(context.Background(), g, workers)
+}
+
+// EdgeButterfliesParallelContext is EdgeButterfliesParallel on the shared
+// exec engine, with pooled marker scratch and cooperative cancellation
+// (ctx.Err() within countPollStride vertices).
+func EdgeButterfliesParallelContext(ctx context.Context, g *graph.Graph, workers int) (map[graph.Edge]int64, error) {
 	if g.NumSelfLoops() > 0 {
 		return nil, fmt.Errorf("count: graph has self loops; remove them first")
 	}
 	n := g.N()
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
+	if workers == 1 || n <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return EdgeButterflies(g)
 	}
+	// Resolve the worker count up front so parts indexing matches stripes.
+	workers = exec.Workers(workers, n)
 	parts := make([]map[graph.Edge]int64, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			mark := make([]bool, n)
-			out := make(map[graph.Edge]int64)
-			for u := lo; u < hi; u++ {
-				for _, x := range g.Neighbors(u) {
-					mark[x] = true
+	err := exec.Ranges(ctx, n, workers, func(ctx context.Context, w, lo, hi int) error {
+		poll := exec.NewPoller(ctx, countPollStride)
+		mark := exec.GetBools(n)
+		defer exec.PutBools(mark)
+		out := make(map[graph.Edge]int64)
+		for u := lo; u < hi; u++ {
+			if poll.Cancelled() {
+				return poll.Err()
+			}
+			for _, x := range g.Neighbors(u) {
+				mark[x] = true
+			}
+			for _, v := range g.Neighbors(u) {
+				if v < u {
+					continue
 				}
-				for _, v := range g.Neighbors(u) {
-					if v < u {
+				var cnt int64
+				for _, y := range g.Neighbors(v) {
+					if y == u {
 						continue
 					}
-					var cnt int64
-					for _, y := range g.Neighbors(v) {
-						if y == u {
-							continue
+					var common int64
+					for _, x := range g.Neighbors(y) {
+						if mark[x] {
+							common++
 						}
-						var common int64
-						for _, x := range g.Neighbors(y) {
-							if mark[x] {
-								common++
-							}
-						}
-						cnt += common - 1
 					}
-					out[graph.Edge{U: u, V: v}] = cnt
+					cnt += common - 1
 				}
-				for _, x := range g.Neighbors(u) {
-					mark[x] = false
-				}
+				out[graph.Edge{U: u, V: v}] = cnt
 			}
-			parts[w] = out
-		}(w, lo, hi)
+			for _, x := range g.Neighbors(u) {
+				mark[x] = false
+			}
+		}
+		parts[w] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	merged := make(map[graph.Edge]int64, g.NumEdges())
 	for _, part := range parts {
 		for e, c := range part {

@@ -1,0 +1,52 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"kronbip/internal/core"
+	"kronbip/internal/gen"
+)
+
+func ctxTestProduct(t *testing.T) *core.Product {
+	t.Helper()
+	p, err := core.New(gen.Crown(4).Graph, gen.Crown(4).Graph, core.ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestGenerateContextCancelled(t *testing.T) {
+	p := ctxTestProduct(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := GenerateContext(ctx, p, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestGenerateContextMatchesWrapper(t *testing.T) {
+	p := ctxTestProduct(t)
+	want, err := Generate(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := GenerateContext(context.Background(), p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalEdges != want.TotalEdges || got.GlobalFour != want.GlobalFour ||
+		got.GlobalFourE != want.GlobalFourE || got.TotalDegree != want.TotalDegree {
+		t.Fatalf("context run %+v differs from wrapper %+v", got, want)
+	}
+	if len(got.Shards) != len(want.Shards) {
+		t.Fatalf("shard counts differ: %d vs %d", len(got.Shards), len(want.Shards))
+	}
+	for i := range got.Shards {
+		if got.Shards[i] != want.Shards[i] {
+			t.Fatalf("shard %d differs: %+v vs %+v", i, got.Shards[i], want.Shards[i])
+		}
+	}
+}

@@ -20,10 +20,11 @@
 package dist
 
 import (
+	"context"
 	"fmt"
-	"sort"
 
 	"kronbip/internal/core"
+	"kronbip/internal/exec"
 )
 
 // Shard is one rank's generation result summary.
@@ -49,10 +50,17 @@ type Result struct {
 	MaxVertexFour int64
 }
 
-// Generate runs the simulated cluster.  Each rank runs as its own
-// goroutine; the only shared state is the Product descriptor (immutable)
-// and the result channel.
+// Generate runs the simulated cluster; see GenerateContext.
 func Generate(p *core.Product, ranks int) (*Result, error) {
+	return GenerateContext(context.Background(), p, ranks)
+}
+
+// GenerateContext runs the simulated cluster on the shared exec engine.
+// Each rank runs as a cancellable shard on the bounded worker pool; the
+// only shared state is the Product descriptor (immutable) and the
+// rank-indexed shard slice each worker writes exactly once.  Cancelling
+// ctx aborts every in-flight rank promptly and returns ctx.Err().
+func GenerateContext(ctx context.Context, p *core.Product, ranks int) (*Result, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("dist: ranks must be positive, got %d", ranks)
 	}
@@ -60,26 +68,19 @@ func Generate(p *core.Product, ranks int) (*Result, error) {
 	if ranks > n {
 		ranks = n
 	}
-	type msg struct {
-		shard Shard
-		err   error
-	}
-	ch := make(chan msg, ranks)
-	for r := 0; r < ranks; r++ {
-		go func(rank int) {
-			shard, err := generateRank(p, rank, ranks)
-			ch <- msg{shard, err}
-		}(r)
-	}
-	res := &Result{Ranks: ranks}
-	for i := 0; i < ranks; i++ {
-		m := <-ch
-		if m.err != nil {
-			return nil, m.err
+	shards := make([]Shard, ranks)
+	err := exec.Sharded(ctx, ranks, func(ctx context.Context, rank int) error {
+		shard, err := generateRank(ctx, p, rank, ranks)
+		if err != nil {
+			return err
 		}
-		res.Shards = append(res.Shards, m.shard)
+		shards[rank] = shard
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(res.Shards, func(i, j int) bool { return res.Shards[i].Rank < res.Shards[j].Rank })
+	res := &Result{Ranks: ranks, Shards: shards}
 	for _, s := range res.Shards {
 		res.TotalEdges += s.Edges
 		res.TotalDegree += s.SumDegree
@@ -99,15 +100,18 @@ func Generate(p *core.Product, ranks int) (*Result, error) {
 
 // generateRank is one worker: owned vertex range plus owned-edge streaming
 // with ground truth computed inline.
-func generateRank(p *core.Product, rank, ranks int) (Shard, error) {
+func generateRank(ctx context.Context, p *core.Product, rank, ranks int) (Shard, error) {
 	n := p.N()
-	lo := rank * n / ranks
-	hi := (rank + 1) * n / ranks
+	lo, hi := exec.Stripe(rank, ranks, n)
 	s := Shard{Rank: rank, VertexLo: lo, VertexHi: hi}
 
 	// Vertex-side ground truth for the owned range, straight from factor
 	// statistics (no communication).
+	poll := exec.NewPoller(ctx, 4096)
 	for v := lo; v < hi; v++ {
+		if poll.Cancelled() {
+			return Shard{}, poll.Err()
+		}
 		s.SumDegree += p.DegreeAt(v)
 		sv := p.VertexFourCyclesAt(v)
 		s.SumVertex += sv
@@ -123,7 +127,7 @@ func generateRank(p *core.Product, rank, ranks int) (Shard, error) {
 	// cost model (each rank scans the factor pair space) matches the
 	// paper's O(|E_C|^{1/2})-memory workers.
 	var streamErr error
-	p.EachEdge(func(v, w int) bool {
+	err := p.EachEdgeContext(ctx, func(v, w int) bool {
 		low := v
 		if w < low {
 			low = w
@@ -140,6 +144,9 @@ func generateRank(p *core.Product, rank, ranks int) (Shard, error) {
 		s.SumEdgeSq += sq
 		return true
 	})
+	if err != nil {
+		return Shard{}, err
+	}
 	if streamErr != nil {
 		return Shard{}, streamErr
 	}

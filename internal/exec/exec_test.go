@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestShardedRunsEveryShardOnce(t *testing.T) {
+	for _, nshards := range []int{1, 2, 3, 8, 100} {
+		for _, workers := range []int{0, 1, 2, 7, 200} {
+			var hits = make([]atomic.Int32, nshards)
+			err := ShardedN(context.Background(), nshards, workers, func(_ context.Context, s int) error {
+				hits[s].Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("nshards=%d workers=%d: %v", nshards, workers, err)
+			}
+			for s := range hits {
+				if got := hits[s].Load(); got != 1 {
+					t.Fatalf("nshards=%d workers=%d: shard %d ran %d times", nshards, workers, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if err := Sharded(context.Background(), 0, nil); err == nil {
+		t.Fatal("accepted nshards=0")
+	}
+	if err := Sharded(context.Background(), -3, nil); err == nil {
+		t.Fatal("accepted negative nshards")
+	}
+	// nil context is tolerated.
+	if err := Sharded(nil, 2, func(context.Context, int) error { return nil }); err != nil { //lint:ignore SA1012 deliberate
+		t.Fatal(err)
+	}
+}
+
+func TestShardedFirstErrorWinsAndCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelledSiblings atomic.Int32
+	err := ShardedN(context.Background(), 8, 4, func(ctx context.Context, s int) error {
+		if s == 0 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+			cancelledSiblings.Add(1)
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return fmt.Errorf("shard %d never saw cancellation", s)
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestShardedPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Sharded(ctx, 4, func(context.Context, int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("shard ran under a pre-cancelled context")
+	}
+}
+
+func TestShardedDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Sharded(ctx, 4, func(context.Context, int) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestShardedCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started sync.WaitGroup
+	started.Add(1)
+	var once sync.Once
+	err := ShardedN(ctx, 4, 4, func(ctx context.Context, s int) error {
+		once.Do(func() {
+			cancel()
+			started.Done()
+		})
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	started.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRangesCoversExactly(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 97, 1000} {
+		for _, workers := range []int{0, 1, 3, 16, 2000} {
+			covered := make([]atomic.Int32, n)
+			err := Ranges(context.Background(), n, workers, func(_ context.Context, _, lo, hi int) error {
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i := range covered {
+				if got := covered[i].Load(); got != 1 {
+					t.Fatalf("n=%d workers=%d: item %d covered %d times", n, workers, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRangesZeroAndNegative(t *testing.T) {
+	if err := Ranges(context.Background(), 0, 4, nil); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := Ranges(context.Background(), -1, 4, nil); err == nil {
+		t.Fatal("accepted negative n")
+	}
+}
+
+func TestStripePartition(t *testing.T) {
+	for _, n := range []int{1, 5, 97, 1 << 20} {
+		for _, workers := range []int{1, 2, 3, 7, 64} {
+			prev := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := Stripe(w, workers, n)
+				if lo != prev {
+					t.Fatalf("n=%d workers=%d stripe %d: lo=%d, want %d", n, workers, w, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d workers=%d stripe %d: hi %d < lo %d", n, workers, w, hi, lo)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d workers=%d: stripes end at %d", n, workers, prev)
+			}
+		}
+	}
+}
+
+// TestStripeNoOverflow feeds the largest representable n: the legacy
+// w*n/workers formula wraps negative here, while Stripe must stay exact.
+func TestStripeNoOverflow(t *testing.T) {
+	n := math.MaxInt
+	workers := 3
+	prev := 0
+	for w := 0; w < workers; w++ {
+		lo, hi := Stripe(w, workers, n)
+		if lo != prev || hi < lo {
+			t.Fatalf("stripe %d: [%d, %d) after %d", w, lo, hi, prev)
+		}
+		prev = hi
+	}
+	if prev != n {
+		t.Fatalf("stripes of MaxInt end at %d", prev)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 10); got != 4 {
+		t.Fatalf("Workers(4,10) = %d", got)
+	}
+	if got := Workers(100, 10); got != 10 {
+		t.Fatalf("Workers(100,10) = %d", got)
+	}
+	if got := Workers(0, 1); got != 1 {
+		t.Fatalf("Workers(0,1) = %d", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Fatalf("Workers(-1,0) = %d", got)
+	}
+}
+
+func TestPollerTripsWithinStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPoller(ctx, 16)
+	for i := 0; i < 100; i++ {
+		if p.Cancelled() {
+			t.Fatal("tripped before cancellation")
+		}
+	}
+	cancel()
+	trippedAt := -1
+	for i := 0; i < 32; i++ {
+		if p.Cancelled() {
+			trippedAt = i
+			break
+		}
+	}
+	if trippedAt < 0 {
+		t.Fatal("poller never tripped within two strides of cancellation")
+	}
+	if !p.Cancelled() {
+		t.Fatal("tripped poller must stay tripped")
+	}
+	if p.Err() == nil {
+		t.Fatal("tripped poller has nil Err")
+	}
+}
+
+func TestPollerBackgroundIsFree(t *testing.T) {
+	p := NewPoller(context.Background(), 4)
+	for i := 0; i < 1000; i++ {
+		if p.Cancelled() {
+			t.Fatal("background poller tripped")
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Sink consumes a stream of product edges.  Implementations are used from
+// one goroutine at a time unless documented otherwise (see LockedSink); a
+// non-nil error aborts the stream feeding the sink.
+type Sink interface {
+	Edge(v, w int) error
+}
+
+// Flusher is implemented by sinks that buffer; Finish calls it when a
+// stream completes normally.
+type Flusher interface {
+	Flush() error
+}
+
+// Finish flushes s if it buffers.  Call it exactly once per sink after the
+// last Edge of a successful stream; aborted streams may skip it, leaving
+// buffered edges undelivered by design.
+func Finish(s Sink) error {
+	if f, ok := s.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// SinkFunc adapts a plain edge callback to a Sink.
+type SinkFunc func(v, w int) error
+
+// Edge calls f.
+func (f SinkFunc) Edge(v, w int) error { return f(v, w) }
+
+// NullSink discards every edge; the measuring stick for generator-side
+// throughput benchmarks.
+type NullSink struct{}
+
+// Edge discards the edge.
+func (NullSink) Edge(int, int) error { return nil }
+
+// CountingSink counts edges atomically; safe for concurrent writers, so a
+// single CountingSink can tally across every shard of a parallel stream.
+type CountingSink struct {
+	n atomic.Int64
+}
+
+// Edge counts the edge.
+func (c *CountingSink) Edge(int, int) error {
+	c.n.Add(1)
+	return nil
+}
+
+// Count returns the number of edges seen so far.
+func (c *CountingSink) Count() int64 { return c.n.Load() }
+
+// MultiSink fans each edge out to every member in order, stopping at the
+// first error; its Flush flushes every member.
+type MultiSink []Sink
+
+// Edge delivers the edge to each member sink.
+func (m MultiSink) Edge(v, w int) error {
+	for _, s := range m {
+		if err := s.Edge(v, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes every member that buffers.
+func (m MultiSink) Flush() error {
+	for _, s := range m {
+		if err := Finish(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LockedSink serializes concurrent writers onto a single underlying sink
+// with a mutex — the bridge between a sharded stream and one shared
+// consumer.  Prefer per-shard sinks (or a BufferedSink per shard in front
+// of a LockedSink) when contention matters.
+type LockedSink struct {
+	mu    sync.Mutex
+	inner Sink
+}
+
+// NewLockedSink wraps inner for concurrent use.
+func NewLockedSink(inner Sink) *LockedSink { return &LockedSink{inner: inner} }
+
+// Edge delivers the edge under the lock.
+func (l *LockedSink) Edge(v, w int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Edge(v, w)
+}
+
+// Flush flushes the underlying sink under the lock.
+func (l *LockedSink) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Finish(l.inner)
+}
+
+// edgePair is one buffered product edge.
+type edgePair struct{ v, w int }
+
+// bufferedSinkCap is the default BufferedSink capacity: big enough to
+// amortize the downstream call, small enough to stay cache-resident.
+const bufferedSinkCap = 4096
+
+var edgeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]edgePair, 0, bufferedSinkCap)
+		return &b
+	},
+}
+
+// BufferedSink batches edges in a pooled buffer and hands them downstream
+// in bursts, cutting per-edge call (and, behind a LockedSink, lock) costs.
+// Flush drains the buffer; Close drains it and returns it to the pool.
+type BufferedSink struct {
+	inner Sink
+	buf   *[]edgePair
+}
+
+// NewBufferedSink wraps inner with a pooled batch buffer.
+func NewBufferedSink(inner Sink) *BufferedSink {
+	return &BufferedSink{inner: inner, buf: edgeBufPool.Get().(*[]edgePair)}
+}
+
+// Edge buffers the edge, draining downstream when the buffer fills.
+func (b *BufferedSink) Edge(v, w int) error {
+	*b.buf = append(*b.buf, edgePair{v, w})
+	if len(*b.buf) >= cap(*b.buf) {
+		return b.drain()
+	}
+	return nil
+}
+
+func (b *BufferedSink) drain() error {
+	buf := *b.buf
+	for _, e := range buf {
+		if err := b.inner.Edge(e.v, e.w); err != nil {
+			*b.buf = buf[:0]
+			return err
+		}
+	}
+	*b.buf = buf[:0]
+	return nil
+}
+
+// Flush drains buffered edges downstream and flushes the inner sink.
+func (b *BufferedSink) Flush() error {
+	if err := b.drain(); err != nil {
+		return err
+	}
+	return Finish(b.inner)
+}
+
+// Close flushes and returns the buffer to the pool; the sink must not be
+// used afterwards.
+func (b *BufferedSink) Close() error {
+	err := b.Flush()
+	if b.buf != nil {
+		*b.buf = (*b.buf)[:0]
+		edgeBufPool.Put(b.buf)
+		b.buf = nil
+	}
+	return err
+}
+
+// TSVSink renders each edge as a "v\tw\n" line — the on-disk interchange
+// format of cmd/kronbip — through an internal buffered writer, formatting
+// with strconv.AppendInt to keep fmt out of the per-edge path.
+type TSVSink struct {
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// NewTSVSink returns a TSVSink writing to w.
+func NewTSVSink(w io.Writer) *TSVSink {
+	return &TSVSink{bw: bufio.NewWriterSize(w, 1<<20), scratch: make([]byte, 0, 48)}
+}
+
+// Edge writes one tab-separated line.
+func (t *TSVSink) Edge(v, w int) error {
+	b := t.scratch[:0]
+	b = strconv.AppendInt(b, int64(v), 10)
+	b = append(b, '\t')
+	b = strconv.AppendInt(b, int64(w), 10)
+	b = append(b, '\n')
+	t.scratch = b
+	_, err := t.bw.Write(b)
+	return err
+}
+
+// Flush flushes the underlying buffered writer.
+func (t *TSVSink) Flush() error { return t.bw.Flush() }

@@ -6,13 +6,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"kronbip/internal/core"
 	"kronbip/internal/count"
+	"kronbip/internal/exec"
 	"kronbip/internal/gen"
 	"kronbip/internal/graph"
 )
@@ -53,13 +56,28 @@ type TableIResult struct {
 // of the materialized product are cross-checked against direct counting.
 // workers <= 0 selects GOMAXPROCS.
 func RunTableI(seed int64, samples, workers int) (*TableIResult, error) {
-	return RunTableIWithFactor(gen.UnicodeLike(seed), "A (unicode-like)", seed, samples, workers)
+	return RunTableIContext(context.Background(), seed, samples, workers)
+}
+
+// RunTableIContext is RunTableI under a context; materialization and the
+// sampled brute-force validation run on the shared exec engine and abort
+// with ctx.Err() on cancellation.
+func RunTableIContext(ctx context.Context, seed int64, samples, workers int) (*TableIResult, error) {
+	return RunTableIWithFactorContext(ctx, gen.UnicodeLike(seed), "A (unicode-like)", seed, samples, workers)
 }
 
 // RunTableIWithFactor is RunTableI with a caller-supplied bipartite factor —
 // pass the real Konect unicode network (mmio.ReadKonectBipartite) to
 // reproduce Table I's absolute numbers rather than the synthetic stand-in's.
 func RunTableIWithFactor(a *graph.Bipartite, name string, seed int64, samples, workers int) (*TableIResult, error) {
+	return RunTableIWithFactorContext(context.Background(), a, name, seed, samples, workers)
+}
+
+// RunTableIWithFactorContext is RunTableIWithFactor under a context.  The
+// sample positions are drawn sequentially from the seeded rng (keeping the
+// report deterministic for a given seed), then verified against brute force
+// in parallel on the engine.
+func RunTableIWithFactorContext(ctx context.Context, a *graph.Bipartite, name string, seed int64, samples, workers int) (*TableIResult, error) {
 	fa, err := core.NewFactor(a.Graph)
 	if err != nil {
 		return nil, err
@@ -94,40 +112,77 @@ func RunTableIWithFactor(a *graph.Bipartite, name string, seed int64, samples, w
 
 	if samples > 0 {
 		start = time.Now()
-		g, err := p.Materialize(workers)
+		g, err := p.MaterializeContext(ctx, workers)
 		if err != nil {
 			return nil, err
 		}
 		res.MaterializeTime = time.Since(start)
+
+		// Draw every sample position sequentially from the seeded rng so the
+		// sample set is deterministic, then verify in parallel on the engine.
 		rng := rand.New(rand.NewSource(seed + 1))
-		for i := 0; i < samples; i++ {
-			v := rng.Intn(p.N())
-			if count.VertexButterfliesAt(g, v) != p.VertexFourCyclesAt(v) {
-				res.VertexMismatches++
-			}
-			res.SampledVertices++
+		vs := make([]int, samples)
+		for i := range vs {
+			vs[i] = rng.Intn(p.N())
 		}
-		// Sample edges via random vertices with neighbors.
-		for res.SampledEdges < samples {
+		type edgeSample struct{ v, w int }
+		es := make([]edgeSample, 0, samples)
+		for len(es) < samples {
 			v := rng.Intn(p.N())
 			nbrs := g.Neighbors(v)
 			if len(nbrs) == 0 {
 				continue
 			}
-			w := nbrs[rng.Intn(len(nbrs))]
-			direct, err := count.EdgeButterfliesAt(g, v, w)
-			if err != nil {
-				return nil, err
-			}
-			formula, err := p.EdgeFourCyclesAt(v, w)
-			if err != nil {
-				return nil, err
-			}
-			if direct != formula {
-				res.EdgeMismatches++
-			}
-			res.SampledEdges++
+			es = append(es, edgeSample{v, nbrs[rng.Intn(len(nbrs))]})
 		}
+
+		var vertexBad atomic.Int64
+		if err := exec.Ranges(ctx, len(vs), workers, func(ctx context.Context, _, lo, hi int) error {
+			poll := exec.NewPoller(ctx, 64)
+			var bad int64
+			for i := lo; i < hi; i++ {
+				if poll.Cancelled() {
+					return poll.Err()
+				}
+				if count.VertexButterfliesAt(g, vs[i]) != p.VertexFourCyclesAt(vs[i]) {
+					bad++
+				}
+			}
+			vertexBad.Add(bad)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		res.SampledVertices = len(vs)
+		res.VertexMismatches = int(vertexBad.Load())
+
+		var edgeBad atomic.Int64
+		if err := exec.Ranges(ctx, len(es), workers, func(ctx context.Context, _, lo, hi int) error {
+			poll := exec.NewPoller(ctx, 64)
+			var bad int64
+			for i := lo; i < hi; i++ {
+				if poll.Cancelled() {
+					return poll.Err()
+				}
+				direct, err := count.EdgeButterfliesAt(g, es[i].v, es[i].w)
+				if err != nil {
+					return err
+				}
+				formula, err := p.EdgeFourCyclesAt(es[i].v, es[i].w)
+				if err != nil {
+					return err
+				}
+				if direct != formula {
+					bad++
+				}
+			}
+			edgeBad.Add(bad)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		res.SampledEdges = len(es)
+		res.EdgeMismatches = int(edgeBad.Load())
 	}
 	res.EdgeSumConsistent = p.GlobalFourCyclesViaEdges() == globalC
 	return res, nil

@@ -1,8 +1,10 @@
 package grb
 
 import (
+	"context"
 	"fmt"
-	"runtime"
+
+	"kronbip/internal/exec"
 )
 
 // Kron computes the Kronecker product C = A ⊗ B (the paper's Def. 4, the
@@ -23,6 +25,13 @@ func Kron[T Number](a, b *Matrix[T]) (*Matrix[T], error) {
 // output row is computed independently and written into its exact final
 // position.  workers <= 0 selects GOMAXPROCS.
 func KronParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
+	return KronParallelContext(context.Background(), a, b, workers)
+}
+
+// KronParallelContext is KronParallel on the shared exec engine: output-row
+// stripes run as cancellable workers, aborting with ctx.Err() within
+// kernelPollStride rows of a cancellation.
+func KronParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers int) (*Matrix[T], error) {
 	nr := a.nr * b.nr
 	nc := a.nc * b.nc
 	nnzA, nnzB := a.NNZ(), b.NNZ()
@@ -47,14 +56,18 @@ func KronParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 		rowPtr[p+1] += rowPtr[p]
 	}
 
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if nr == 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return &Matrix[T]{nr: nr, nc: nc, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
 	}
-	if workers > nr {
-		workers = nr
-	}
-	parallelRows(nr, workers, func(w, lo, hi int) {
+	err := exec.Ranges(ctx, nr, workers, func(ctx context.Context, _, lo, hi int) error {
+		poll := exec.NewPoller(ctx, kernelPollStride)
 		for p := lo; p < hi; p++ {
+			if poll.Cancelled() {
+				return poll.Err()
+			}
 			i, k := p/b.nr, p%b.nr
 			pos := rowPtr[p]
 			for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
@@ -67,7 +80,11 @@ func KronParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Matrix[T]{nr: nr, nc: nc, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
 }
 

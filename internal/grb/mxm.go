@@ -1,11 +1,16 @@
 package grb
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
+
+	"kronbip/internal/exec"
 )
+
+// kernelPollStride bounds how many output rows a kernel worker may compute
+// after a cancellation before it notices and aborts.
+const kernelPollStride = 256
 
 // MxM computes C = A·B over the conventional (+,*) semiring using
 // Gustavson's row-wise algorithm with a dense accumulator.
@@ -58,24 +63,34 @@ func MxMSemiring[T Number](sr Semiring[T], a, b *Matrix[T]) (*Matrix[T], error) 
 // that writes rows directly into their final positions; no per-worker
 // buffers are stitched afterwards.  workers <= 0 selects GOMAXPROCS.
 func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
+	return MxMParallelContext(context.Background(), a, b, workers)
+}
+
+// MxMParallelContext is MxMParallel on the shared exec engine: both the
+// symbolic and numeric passes run as cancellable row-stripe workers with
+// pooled marker scratch, aborting with ctx.Err() within kernelPollStride
+// rows of a cancellation.
+func MxMParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers int) (*Matrix[T], error) {
 	if a.nc != b.nr {
 		return nil, fmt.Errorf("grb: MxM dimension mismatch: %dx%d times %dx%d", a.nr, a.nc, b.nr, b.nc)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > a.nr {
-		workers = a.nr
-	}
-	if workers <= 1 {
+	if exec.Workers(workers, a.nr) <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return MxM(a, b)
 	}
 
 	// Symbolic pass: per-row output nnz.
 	rowNNZ := make([]int, a.nr)
-	parallelRows(a.nr, workers, func(w, lo, hi int) {
-		mark := make([]int, b.nc)
+	err := exec.Ranges(ctx, a.nr, workers, func(ctx context.Context, _, lo, hi int) error {
+		poll := exec.NewPoller(ctx, kernelPollStride)
+		mark := exec.GetInts(b.nc)
+		defer exec.PutInts(mark)
 		for i := lo; i < hi; i++ {
+			if poll.Cancelled() {
+				return poll.Err()
+			}
 			cnt := 0
 			for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
 				col := a.colIdx[ka]
@@ -89,7 +104,11 @@ func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 			}
 			rowNNZ[i] = cnt
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	rowPtr := make([]int, a.nr+1)
 	for i, n := range rowNNZ {
@@ -100,11 +119,16 @@ func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 	val := make([]T, nnz)
 
 	// Numeric pass.
-	parallelRows(a.nr, workers, func(w, lo, hi int) {
+	err = exec.Ranges(ctx, a.nr, workers, func(ctx context.Context, _, lo, hi int) error {
+		poll := exec.NewPoller(ctx, kernelPollStride)
 		acc := make([]T, b.nc)
-		mark := make([]int, b.nc)
+		mark := exec.GetInts(b.nc)
+		defer exec.PutInts(mark)
 		touched := make([]int, 0, 64)
 		for i := lo; i < hi; i++ {
+			if poll.Cancelled() {
+				return poll.Err()
+			}
 			touched = touched[:0]
 			for ka := a.rowPtr[i]; ka < a.rowPtr[i+1]; ka++ {
 				col := a.colIdx[ka]
@@ -128,56 +152,47 @@ func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 				val[base+t] = acc[j]
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Matrix[T]{nr: a.nr, nc: b.nc, rowPtr: rowPtr, colIdx: colIdx, val: val}, nil
 }
 
 // MxVParallel computes y = A·x over (+,*) with rows partitioned across
 // workers.  workers <= 0 selects GOMAXPROCS.
 func MxVParallel[T Number](a *Matrix[T], x []T, workers int) ([]T, error) {
+	return MxVParallelContext(context.Background(), a, x, workers)
+}
+
+// MxVParallelContext is MxVParallel on the shared exec engine.
+func MxVParallelContext[T Number](ctx context.Context, a *Matrix[T], x []T, workers int) ([]T, error) {
 	if len(x) != a.nc {
 		return nil, fmt.Errorf("grb: MxV dimension mismatch: matrix %dx%d, vector %d", a.nr, a.nc, len(x))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > a.nr {
-		workers = a.nr
-	}
 	y := make([]T, a.nr)
-	parallelRows(a.nr, workers, func(w, lo, hi int) {
+	if a.nr == 0 {
+		return y, ctx.Err()
+	}
+	err := exec.Ranges(ctx, a.nr, workers, func(ctx context.Context, _, lo, hi int) error {
+		poll := exec.NewPoller(ctx, kernelPollStride)
 		for i := lo; i < hi; i++ {
+			if poll.Cancelled() {
+				return poll.Err()
+			}
 			var acc T
 			for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
 				acc += a.val[k] * x[a.colIdx[k]]
 			}
 			y[i] = acc
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return y, nil
-}
-
-// parallelRows splits [0,n) into `workers` contiguous stripes and runs fn on
-// each in its own goroutine, blocking until all complete.
-func parallelRows(n, workers int, fn func(worker, lo, hi int)) {
-	if workers <= 1 || n <= 1 {
-		fn(0, 0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * n / workers
-		hi := (w + 1) * n / workers
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			fn(w, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
 }
 
 // sortInts is an insertion sort for the short "touched columns" lists that
