@@ -3,15 +3,18 @@
 #   make            - vet + build + full test suite
 #   make race       - race-detector pass over the concurrent packages
 #   make bench      - streaming + engine benchmarks
+#   make bench-json - same benchmarks as a dated BENCH_<date>.json record
 #   make check      - everything (what CI should run)
 
 GO ?= go
+BENCH_DATE := $(shell date +%Y-%m-%d)
 
 # Packages with nontrivial concurrency: everything scheduled on the
-# internal/exec engine plus the engine itself.
-RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist
+# internal/exec engine plus the engine itself and the obs registry the
+# instrumented paths hammer concurrently.
+RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race bench bench-json check
 
 all: vet build test
 
@@ -30,5 +33,12 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkStream_' -benchtime 10x .
 	$(GO) test -bench . -benchtime 100x ./internal/exec
+
+# bench-json records the same runs in `go test -json` form, one dated
+# file per day, for diffing throughput across PRs.
+bench-json:
+	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
+	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; } > BENCH_$(BENCH_DATE).json
+	@echo wrote BENCH_$(BENCH_DATE).json
 
 check: vet build test race

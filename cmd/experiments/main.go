@@ -11,21 +11,36 @@
 //
 // Experiment ids: tab1, fig1, fig5, thm345, thm6, thm7, rem1, scale,
 // baselines (see DESIGN.md §4 for the per-experiment index).
+//
+// The observability flags (-metrics-out, -cpuprofile, -memprofile, -trace,
+// -debug-addr) instrument the run; with -metrics-out the final snapshot
+// includes one "experiments.<id>" span per experiment, so the snapshot
+// doubles as a per-experiment time breakdown.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"kronbip/internal/cli"
 	"kronbip/internal/experiments"
 	"kronbip/internal/graph"
 	"kronbip/internal/mmio"
+	"kronbip/internal/obs"
 )
 
+var errValidation = errors.New("one or more experiments failed")
+
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	var (
 		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
 		seed    = flag.Int64("seed", 2020, "deterministic seed for synthetic factors")
@@ -36,239 +51,277 @@ func main() {
 		unicode = flag.String("unicode", "", "path to the real Konect unicode out.* file; when set, tab1/fig5 use it instead of the synthetic stand-in")
 		mdOut   = flag.String("md", "", "run everything and write the EXPERIMENTS.md report to this path (overrides -run)")
 	)
+	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	verb := cli.RegisterVerbosity(flag.CommandLine)
 	flag.Parse()
 
-	if *mdOut != "" {
-		report, err := experiments.RunAll(*seed, *samples, *steps, *workers)
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return cli.Fail("experiments", err)
+	}
+	err = runExperiments(*run, *seed, *samples, *workers, *outDir, *steps, *unicode, *mdOut, verb)
+	if stopErr := stopObs(); stopErr != nil && err == nil {
+		err = stopErr
+	}
+	return cli.Fail("experiments", err)
+}
+
+func runExperiments(run string, seed int64, samples, workers int, outDir string, steps int, unicode, mdOut string, verb *cli.Verbosity) error {
+	if mdOut != "" {
+		report, err := experiments.RunAll(seed, samples, steps, workers)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		f, err := os.Create(*mdOut)
+		f, err := os.Create(mdOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		if err := report.WriteMarkdown(f); err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
-		f.Close()
-		fmt.Printf("wrote %s (all experiments valid: %v, %v)\n", *mdOut, report.Valid(), report.Elapsed.Round(10_000_000))
+		if err := f.Close(); err != nil {
+			return err
+		}
+		verb.Summaryf("wrote %s (all experiments valid: %v, %v)\n", mdOut, report.Valid(), report.Elapsed.Round(10_000_000))
 		if !report.Valid() {
-			os.Exit(1)
+			return errValidation
 		}
-		return
+		return nil
 	}
 
 	var realFactor *graph.Bipartite
-	if *unicode != "" {
-		f, err := os.Open(*unicode)
+	if unicode != "" {
+		f, err := os.Open(unicode)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: -unicode: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("-unicode: %w", err)
 		}
 		realFactor, err = mmio.ReadKonectBipartite(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: -unicode: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("-unicode: %w", err)
 		}
-		fmt.Printf("loaded Konect factor from %s: |U|=%d |W|=%d |E|=%d\n\n", *unicode, realFactor.NU(), realFactor.NW(), realFactor.NumEdges())
+		verb.Summaryf("loaded Konect factor from %s: |U|=%d |W|=%d |E|=%d\n", unicode, realFactor.NU(), realFactor.NW(), realFactor.NumEdges())
 	}
 
 	want := map[string]bool{}
-	for _, id := range strings.Split(*run, ",") {
+	for _, id := range strings.Split(run, ",") {
 		want[strings.TrimSpace(strings.ToLower(id))] = true
 	}
 	all := want["all"]
 	failed := false
 	ran := 0
 
-	section := func(id string) bool {
-		if all || want[id] {
-			ran++
-			fmt.Printf("=== %s ===\n", id)
-			return true
-		}
-		return false
+	invalid := func(id, msg string) {
+		fmt.Fprintf(os.Stderr, "experiments %s: %s\n", id, msg)
+		failed = true
 	}
-	report := func(err error) bool {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			failed = true
-			return false
+	writeTSV := func(name string, emit func(w io.Writer) error) error {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
 		}
-		return true
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		verb.Summaryf("wrote %s\n", path)
+		return nil
 	}
 
-	if section("tab1") {
-		var res *experiments.TableIResult
-		var err error
-		if realFactor != nil {
-			res, err = experiments.RunTableIWithFactor(realFactor, "A (Konect unicode)", *seed, *samples, *workers)
-		} else {
-			res, err = experiments.RunTableI(*seed, *samples, *workers)
-		}
-		if report(err) {
-			fmt.Println(res)
-			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "tab1: VALIDATION FAILED")
-				failed = true
-			}
-		}
-	}
-	if section("fig1") {
-		res, err := experiments.RunFig1()
-		if report(err) {
-			fmt.Println(res)
-			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "fig1: outcomes disagree with the paper's claims")
-				failed = true
-			}
-		}
-	}
-	if section("fig5") {
-		var res *experiments.Fig5Result
-		var err error
-		if realFactor != nil {
-			res, err = experiments.RunFig5WithFactor(realFactor)
-		} else {
-			res, err = experiments.RunFig5(*seed)
-		}
-		if report(err) {
-			fmt.Println(res)
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				report(err)
+	// Each experiment is one table entry; the runner loop prints the
+	// section header, brackets the run in an "experiments.<id>" span, and
+	// reports failures in the shared CLI shape without aborting the sweep
+	// (the run still exits non-zero at the end).
+	sections := []struct {
+		id  string
+		run func(id string) error
+	}{
+		{"tab1", func(id string) error {
+			var res *experiments.TableIResult
+			var err error
+			if realFactor != nil {
+				res, err = experiments.RunTableIWithFactor(realFactor, "A (Konect unicode)", seed, samples, workers)
 			} else {
-				path := filepath.Join(*outDir, "fig5.tsv")
-				f, err := os.Create(path)
-				if report(err) {
-					if report(res.WriteTSV(f)) {
-						fmt.Printf("wrote %s (%d factor + %d product points)\n\n", path, len(res.FactorPoints), len(res.ProductPoints))
-					}
-					f.Close()
-				}
+				res, err = experiments.RunTableI(seed, samples, workers)
 			}
-		}
-	}
-	if section("thm345") {
-		res, err := experiments.RunFormulaValidation()
-		if report(err) {
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "thm345: formula mismatch")
-				failed = true
+				invalid(id, "VALIDATION FAILED")
 			}
-		}
-	}
-	if section("thm6") {
-		res, err := experiments.RunClusteringLaw(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"fig1", func(id string) error {
+			res, err := experiments.RunFig1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			if !res.Valid() {
+				invalid(id, "outcomes disagree with the paper's claims")
+			}
+			return nil
+		}},
+		{"fig5", func(id string) error {
+			var res *experiments.Fig5Result
+			var err error
+			if realFactor != nil {
+				res, err = experiments.RunFig5WithFactor(realFactor)
+			} else {
+				res, err = experiments.RunFig5(seed)
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			return writeTSV("fig5.tsv", res.WriteTSV)
+		}},
+		{"thm345", func(id string) error {
+			res, err := experiments.RunFormulaValidation()
+			if err != nil {
+				return err
+			}
+			fmt.Println(res)
+			if !res.Valid() {
+				invalid(id, "formula mismatch")
+			}
+			return nil
+		}},
+		{"thm6", func(id string) error {
+			res, err := experiments.RunClusteringLaw(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.BoundOK {
-				fmt.Fprintln(os.Stderr, "thm6: bound violated")
-				failed = true
+				invalid(id, "bound violated")
 			}
-		}
-	}
-	if section("thm7") {
-		res, err := experiments.RunCommunity(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"thm7", func(id string) error {
+			res, err := experiments.RunCommunity(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.FormulasExact || !res.BoundsHold {
-				fmt.Fprintln(os.Stderr, "thm7: formulas or bounds failed")
-				failed = true
+				invalid(id, "formulas or bounds failed")
 			}
-		}
-	}
-	if section("rem1") {
-		res, err := experiments.RunRemark1()
-		if report(err) {
+			return nil
+		}},
+		{"rem1", func(id string) error {
+			res, err := experiments.RunRemark1()
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "rem1: demonstration failed")
-				failed = true
+				invalid(id, "demonstration failed")
 			}
-		}
-	}
-	if section("scale") {
-		res, err := experiments.RunScaling(*steps, *seed, *workers)
-		if report(err) {
+			return nil
+		}},
+		{"scale", func(id string) error {
+			res, err := experiments.RunScaling(steps, seed, workers)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
-		}
-	}
-	if section("baselines") {
-		res, err := experiments.RunBaselines(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"baselines", func(id string) error {
+			res, err := experiments.RunBaselines(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
-		}
-	}
-	if section("ecc") {
-		res, err := experiments.RunDistances()
-		if report(err) {
+			return nil
+		}},
+		{"ecc", func(id string) error {
+			res, err := experiments.RunDistances()
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "ecc: distance ground truth mismatch")
-				failed = true
+				invalid(id, "distance ground truth mismatch")
 			}
-		}
-	}
-	if section("deg") {
-		res, err := experiments.RunDegrees(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"deg", func(id string) error {
+			res, err := experiments.RunDegrees(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.HistogramMatches {
-				fmt.Fprintln(os.Stderr, "deg: degree histogram mismatch")
-				failed = true
+				invalid(id, "degree histogram mismatch")
 			}
-			if err := os.MkdirAll(*outDir, 0o755); err == nil {
-				path := filepath.Join(*outDir, "degree_ccdf.tsv")
-				if f, err := os.Create(path); err == nil {
-					if report(res.WriteCCDFTSV(f)) {
-						fmt.Printf("wrote %s\n\n", path)
-					}
-					f.Close()
-				}
+			return writeTSV("degree_ccdf.tsv", res.WriteCCDFTSV)
+		}},
+		{"eig", func(id string) error {
+			res, err := experiments.RunSpectral()
+			if err != nil {
+				return err
 			}
-		}
-	}
-	if section("eig") {
-		res, err := experiments.RunSpectral()
-		if report(err) {
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "eig: spectral ground truth mismatch")
-				failed = true
+				invalid(id, "spectral ground truth mismatch")
 			}
-		}
-	}
-	if section("dist") {
-		res, err := experiments.RunDistributed(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"dist", func(id string) error {
+			res, err := experiments.RunDistributed(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "dist: distributed reduction mismatch")
-				failed = true
+				invalid(id, "distributed reduction mismatch")
 			}
-		}
-	}
-	if section("approx") {
-		res, err := experiments.RunApprox(*seed)
-		if report(err) {
+			return nil
+		}},
+		{"approx", func(id string) error {
+			res, err := experiments.RunApprox(seed)
+			if err != nil {
+				return err
+			}
 			fmt.Println(res)
 			if !res.Valid() {
-				fmt.Fprintln(os.Stderr, "approx: estimator grading failed")
-				failed = true
+				invalid(id, "estimator grading failed")
 			}
+			return nil
+		}},
+	}
+	for _, s := range sections {
+		if !all && !want[s.id] {
+			continue
+		}
+		ran++
+		fmt.Printf("=== %s ===\n", s.id)
+		done := obs.Timed("experiments." + s.id)
+		err := s.run(s.id)
+		done()
+		if err != nil {
+			cli.Fail("experiments "+s.id, err)
+			failed = true
 		}
 	}
 
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment id(s) %q; known: tab1 fig1 fig5 thm345 thm6 thm7 rem1 scale baselines ecc deg eig dist approx all\n", *run)
-		os.Exit(2)
+		return cli.UsageErrorf("unknown experiment id(s) %q; known: tab1 fig1 fig5 thm345 thm6 thm7 rem1 scale baselines ecc deg eig dist approx all", run)
 	}
 	if failed {
-		os.Exit(1)
+		return errValidation
 	}
+	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -12,26 +13,39 @@ import (
 )
 
 func TestCmdStats(t *testing.T) {
-	if err := cmdStats([]string{"-factor", "crown4"}); err != nil {
+	ctx := context.Background()
+	if err := cmdStats(ctx, []string{"-factor", "crown4"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdStats([]string{"-factor", "biclique3x3", "-mode", "nonbip", "-spectral", "-diameter"}); err != nil {
+	if err := cmdStats(ctx, []string{"-factor", "biclique3x3", "-mode", "nonbip", "-spectral", "-diameter"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdStats([]string{"-factor", "nope"}); err == nil {
+	if err := cmdStats(ctx, []string{"-factor", "nope"}); err == nil {
 		t.Fatal("accepted bad factor")
 	}
 	// Diameter on a disconnected (relaxed) product errors cleanly.
-	if err := cmdStats([]string{"-factor", "unicode", "-diameter"}); err == nil {
+	if err := cmdStats(ctx, []string{"-factor", "unicode", "-diameter"}); err == nil {
 		t.Fatal("diameter on relaxed product should error")
+	}
+	// A cancelled context aborts the spectral/diameter work with ctx.Err().
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	err := cmdStats(cctx, []string{"-factor", "biclique3x3", "-mode", "nonbip", "-spectral"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stats -spectral returned %v, want context.Canceled", err)
+	}
+	err = cmdStats(cctx, []string{"-factor", "biclique3x3", "-mode", "nonbip", "-diameter"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stats -diameter returned %v, want context.Canceled", err)
 	}
 }
 
 func TestCmdTruth(t *testing.T) {
-	if err := cmdTruth([]string{"-factor", "crown4", "-vertex", "5"}); err != nil {
+	ctx := context.Background()
+	if err := cmdTruth(ctx, []string{"-factor", "crown4", "-vertex", "5"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdTruth([]string{"-factor", "crown4", "-edge", "1,63", "-hops", "1,63"}); err != nil {
+	if err := cmdTruth(ctx, []string{"-factor", "crown4", "-edge", "1,63", "-hops", "1,63"}); err != nil {
 		t.Fatal(err)
 	}
 	cases := [][]string{
@@ -44,9 +58,16 @@ func TestCmdTruth(t *testing.T) {
 		{"-factor", "crown4", "-hops", "1,99999"}, // out of range
 	}
 	for _, args := range cases {
-		if err := cmdTruth(args); err == nil {
+		if err := cmdTruth(ctx, args); err == nil {
 			t.Fatalf("cmdTruth accepted %v", args)
 		}
+	}
+	// A cancelled context aborts the distance precompute with ctx.Err().
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	err := cmdTruth(cctx, []string{"-factor", "crown4", "-hops", "1,63"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled truth -hops returned %v, want context.Canceled", err)
 	}
 }
 
@@ -134,5 +155,70 @@ func TestCmdGenerate(t *testing.T) {
 	err = cmdGenerate(cctx, []string{"-factor", "crown3", "-edges-out", filepath.Join(dir, "cancelled"), "-shards", "2"})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled generate returned %v, want context.Canceled", err)
+	}
+}
+
+// TestCmdGenerateMetricsOut runs an instrumented generate and asserts the
+// -metrics-out snapshot holds the per-shard edge counts, pool gauges and
+// stage span the observability contract promises.
+func TestCmdGenerateMetricsOut(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "edges")
+	mpath := filepath.Join(dir, "m.json")
+	err := cmdGenerate(ctx, []string{
+		"-factor", "crown3", "-edges-out", prefix, "-shards", "2",
+		"-metrics-out", mpath, "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]int64 `json:"gauges"`
+		Spans    map[string]struct {
+			Count        int64   `json:"count"`
+			TotalSeconds float64 `json:"total_seconds"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	// crown3 = C6 in mode (ii): 108 product edges.  The counters are
+	// process-wide, so other tests may have added more — assert at least.
+	if got := snap.Counters["core.stream.edges"]; got < 108 {
+		t.Errorf("core.stream.edges = %d, want >= 108", got)
+	}
+	var shardTotal int64
+	for s := 0; s < 2; s++ {
+		key := fmt.Sprintf("core.stream.edges{shard=%q}", fmt.Sprint(s))
+		v, ok := snap.Counters[key]
+		if !ok {
+			t.Errorf("snapshot missing per-shard counter %s", key)
+		}
+		shardTotal += v
+	}
+	if shardTotal < 108 {
+		t.Errorf("per-shard edge counters sum to %d, want >= 108", shardTotal)
+	}
+	if got := snap.Counters["core.stream.shards.done"]; got < 2 {
+		t.Errorf("core.stream.shards.done = %d, want >= 2", got)
+	}
+	if got := snap.Counters["exec.pool.tasks"]; got < 2 {
+		t.Errorf("exec.pool.tasks = %d, want >= 2", got)
+	}
+	if _, ok := snap.Gauges["exec.pool.peak"]; !ok {
+		t.Error("snapshot missing gauge exec.pool.peak")
+	}
+	sp, ok := snap.Spans["core.stream"]
+	if !ok {
+		t.Fatal("snapshot missing span core.stream")
+	}
+	if sp.Count < 1 || sp.TotalSeconds < 0 {
+		t.Errorf("span core.stream = %+v, want count >= 1", sp)
 	}
 }

@@ -32,7 +32,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,17 +41,19 @@ import (
 	"strings"
 	"syscall"
 
+	"kronbip/internal/cli"
 	"kronbip/internal/core"
 	"kronbip/internal/count"
 	"kronbip/internal/exec"
 	"kronbip/internal/gen"
 	"kronbip/internal/graph"
+	"kronbip/internal/obs"
 )
 
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
 	// Every subcommand runs under a signal-aware context: Ctrl-C or SIGTERM
 	// cancels mid-generation and the engine unwinds with a partial-work
@@ -66,9 +67,9 @@ func main() {
 	case "generate":
 		err = cmdGenerate(ctx, args)
 	case "stats":
-		err = cmdStats(args)
+		err = cmdStats(ctx, args)
 	case "truth":
-		err = cmdTruth(args)
+		err = cmdTruth(ctx, args)
 	case "verify":
 		err = cmdVerify(ctx, args)
 	case "-h", "--help", "help":
@@ -76,15 +77,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "kronbip: unknown subcommand %q\n", cmd)
 		usage()
-		os.Exit(2)
+		os.Exit(cli.ExitUsage)
 	}
-	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			fmt.Fprintf(os.Stderr, "kronbip %s: aborted (%v); output is partial\n", cmd, err)
-			os.Exit(130)
-		}
-		fmt.Fprintf(os.Stderr, "kronbip %s: %v\n", cmd, err)
-		os.Exit(1)
+	if code := cli.Fail("kronbip "+cmd, err); code != cli.ExitOK {
+		os.Exit(code)
 	}
 }
 
@@ -189,6 +185,8 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	out := fs.String("edges-out", "-", "edge list destination ('-' for stdout)")
 	shards := fs.Int("shards", 0, "shard files to write in parallel (<edges-out>.shardK); 0 = GOMAXPROCS, 1 = single file; needs -edges-out for N>1")
 	timeout := fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
+	obsFlags := obs.RegisterFlags(fs)
+	verb := cli.RegisterVerbosity(fs)
 	fs.Parse(args)
 
 	p, err := buildProduct(*factor, *mode, *seed)
@@ -215,15 +213,41 @@ func cmdGenerate(ctx context.Context, args []string) error {
 		}
 		nshards = 1
 	}
-	if nshards == 1 {
-		return generateSingle(ctx, p, *out)
+
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
 	}
-	return generateSharded(ctx, p, *out, nshards)
+	// The progress reporter samples the stream's process-wide counters
+	// (baselined at Start, so the numbers are per-run) at the requested
+	// interval; it stops — and gets out of the way of the summary line —
+	// before the metrics snapshot is written.
+	stopProgress := (&obs.Progress{
+		Interval:    obsFlags.Progress,
+		Edges:       obs.Default.Counter(core.MetricStreamEdges).Value,
+		TotalEdges:  p.NumEdges(),
+		ShardsDone:  obs.Default.Counter(core.MetricStreamShardsDone).Value,
+		TotalShards: int64(nshards),
+	}).Start()
+
+	genErr := func() error {
+		if nshards == 1 {
+			return generateSingle(ctx, p, *out, verb)
+		}
+		return generateSharded(ctx, p, *out, nshards, verb)
+	}()
+	stopProgress()
+	if err := stopObs(); err != nil && genErr == nil {
+		genErr = err
+	}
+	return genErr
 }
 
 // generateSingle streams the whole edge set to one destination ('-' for
-// stdout) through the engine's TSV sink, cancellably.
-func generateSingle(ctx context.Context, p *core.Product, out string) error {
+// stdout) through the engine's TSV sink, cancellably.  It runs as a
+// one-shard parallel stream so the single-file path shares the sharded
+// path's instrumentation (edge counters, span timing, shard completion).
+func generateSingle(ctx context.Context, p *core.Product, out string, verb *cli.Verbosity) error {
 	w := os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
@@ -236,21 +260,11 @@ func generateSingle(ctx context.Context, p *core.Product, out string) error {
 	tsv := exec.NewTSVSink(w)
 	var cnt exec.CountingSink
 	sink := exec.MultiSink{tsv, &cnt}
-	var werr error
-	err := p.EachEdgeContext(ctx, func(v, u int) bool {
-		werr = sink.Edge(v, u)
-		return werr == nil
-	})
+	err := p.StreamEdgesParallelContext(ctx, 1, func(int) exec.Sink { return sink })
 	if err != nil {
 		return err
 	}
-	if werr != nil {
-		return werr
-	}
-	if err := exec.Finish(sink); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "%v\nstreamed %d edges; global 4-cycles (ground truth): %d\n", p, cnt.Count(), p.GlobalFourCycles())
+	verb.Summaryf("%v\nstreamed %d edges; global 4-cycles (ground truth): %d\n", p, cnt.Count(), p.GlobalFourCycles())
 	return nil
 }
 
@@ -258,7 +272,7 @@ func generateSingle(ctx context.Context, p *core.Product, out string) error {
 // engine's bounded worker pool — the distributed-generation shape of the
 // paper's future-work discussion, in-process.  Cancellation (Ctrl-C,
 // -timeout) aborts all shards promptly, leaving partial shard files.
-func generateSharded(ctx context.Context, p *core.Product, prefix string, shards int) error {
+func generateSharded(ctx context.Context, p *core.Product, prefix string, shards int, verb *cli.Verbosity) error {
 	if prefix == "-" {
 		return fmt.Errorf("sharded output needs -edges-out to name a file prefix")
 	}
@@ -279,20 +293,26 @@ func generateSharded(ctx context.Context, p *core.Product, prefix string, shards
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%v\nwrote %d shards (%d edges total); global 4-cycles (ground truth): %d\n",
+	verb.Summaryf("%v\nwrote %d shards (%d edges total); global 4-cycles (ground truth): %d\n",
 		p, shards, p.NumEdges(), p.GlobalFourCycles())
 	return nil
 }
 
-func cmdStats(args []string) error {
+func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	factor := fs.String("factor", "unicode", "factor spec")
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	spectral := fs.Bool("spectral", false, "also report the exact spectral radius ρ(C)")
 	diameter := fs.Bool("diameter", false, "also report the exact diameter (needs connected factors)")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	fs.Parse(args)
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	p, err := buildProduct(*factor, *mode, *seed)
 	if err != nil {
 		return err
@@ -306,14 +326,14 @@ func cmdStats(args []string) error {
 	fmt.Printf("product □: %d (closed form, no materialization)\n", p.GlobalFourCycles())
 	fmt.Printf("connected by theorem: %v\n", p.ConnectedByTheorem())
 	if *spectral {
-		rho, err := p.SpectralRadius(1e-10, 20000)
+		rho, err := p.SpectralRadiusContext(ctx, 1e-10, 20000)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("spectral radius ρ(C): %.8f (= ρ(M)·ρ(B), factor power iteration)\n", rho)
 	}
 	if *diameter {
-		d, err := p.Diameter()
+		d, err := p.DiameterContext(ctx)
 		if err != nil {
 			return err
 		}
@@ -322,7 +342,7 @@ func cmdStats(args []string) error {
 	return nil
 }
 
-func cmdTruth(args []string) error {
+func cmdTruth(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("truth", flag.ExitOnError)
 	factor := fs.String("factor", "unicode", "factor spec")
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
@@ -330,10 +350,19 @@ func cmdTruth(args []string) error {
 	vertex := fs.Int("vertex", -1, "product vertex to query")
 	edge := fs.String("edge", "", "product edge to query, as 'v,w'")
 	hops := fs.String("hops", "", "product vertex pair to query the exact distance of, as 'v,w'")
+	timeout := fs.Duration("timeout", 0, "abort after this duration (0 = none)")
 	fs.Parse(args)
 
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	p, err := buildProduct(*factor, *mode, *seed)
 	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if *vertex >= 0 {
@@ -374,7 +403,11 @@ func cmdTruth(args []string) error {
 		if err1 != nil || err2 != nil || v < 0 || w < 0 || v >= p.N() || w >= p.N() {
 			return fmt.Errorf("bad -hops %q", *hops)
 		}
-		if d, ok := p.HopsAt(v, w); ok {
+		d, ok, err := p.HopsAtContext(ctx, v, w)
+		if err != nil {
+			return err
+		}
+		if ok {
 			fmt.Printf("hops(%d,%d) = %d\n", v, w, d)
 		} else {
 			fmt.Printf("hops(%d,%d) = unreachable (different components)\n", v, w)

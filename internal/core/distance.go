@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"kronbip/internal/graph"
+	"kronbip/internal/obs"
 )
 
 // Distance ground truth.  The paper notes (§I, citing the prior Kronecker
@@ -31,52 +33,85 @@ type distanceIndex struct {
 var errRelaxedDistances = fmt.Errorf("core: eccentricity/diameter ground truth requires the strict Assumption 1 premises (construct with New/NewWithParts); relaxed products may be disconnected")
 
 func (p *Product) distances() *distanceIndex {
-	p.distOnce.Do(func() {
-		idx := &distanceIndex{hopsB: make([][]int, p.b.N())}
-		for k := 0; k < p.b.N(); k++ {
-			idx.hopsB[k] = p.b.G.BFS(k)
+	idx, _ := p.distancesContext(context.Background()) // background ctx: cannot fail
+	return idx
+}
+
+// distancesContext builds (or returns) the factor BFS tables, checking ctx
+// between per-vertex BFS runs so a SIGINT or deadline aborts the O(n·m)
+// precompute promptly.  A cancelled build leaves no partial state; the next
+// call rebuilds from scratch.
+func (p *Product) distancesContext(ctx context.Context) (*distanceIndex, error) {
+	p.distMu.Lock()
+	defer p.distMu.Unlock()
+	if p.dist != nil {
+		return p.dist, nil
+	}
+	defer obs.Timed("core.distances")()
+	idx := &distanceIndex{hopsB: make([][]int, p.b.N())}
+	for k := 0; k < p.b.N(); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if p.mode == ModeNonBipartiteFactor {
-			idx.parityA = p.a.G.AllParityBFS()
-		} else {
-			idx.hopsA = make([][]int, p.a.N())
-			for i := 0; i < p.a.N(); i++ {
-				idx.hopsA[i] = p.a.G.BFS(i)
+		idx.hopsB[k] = p.b.G.BFS(k)
+	}
+	if p.mode == ModeNonBipartiteFactor {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		idx.parityA = p.a.G.AllParityBFS()
+	} else {
+		idx.hopsA = make([][]int, p.a.N())
+		for i := 0; i < p.a.N(); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
+			idx.hopsA[i] = p.a.G.BFS(i)
 		}
-		p.dist = idx
-	})
-	return p.dist
+	}
+	p.dist = idx
+	return idx, nil
 }
 
 // HopsAt returns the exact shortest-path distance between product vertices
 // v and w, computed from factor BFS tables in O(1) after an O(n·m)
 // per-factor precomputation.  ok is false when w is unreachable from v.
 func (p *Product) HopsAt(v, w int) (hops int, ok bool) {
+	hops, ok, _ = p.HopsAtContext(context.Background(), v, w)
+	return hops, ok
+}
+
+// HopsAtContext is HopsAt under a context: the first call on a Product
+// pays the factor BFS precompute, which checks ctx between per-vertex
+// BFS runs and aborts with ctx.Err() on cancellation.
+func (p *Product) HopsAtContext(ctx context.Context, v, w int) (hops int, ok bool, err error) {
 	if v == w {
-		return 0, true
+		return 0, true, nil
 	}
-	idx := p.distances()
+	idx, err := p.distancesContext(ctx)
+	if err != nil {
+		return 0, false, err
+	}
 	i, k := p.PairOf(v)
 	j, l := p.PairOf(w)
 	hB := idx.hopsB[k][l]
 	if hB == graph.Unreached {
-		return 0, false
+		return 0, false, nil
 	}
 	t := hB % 2
 	if p.mode == ModeNonBipartiteFactor {
 		wA := idx.parityA[i].MinWalk(j, t)
 		if wA == graph.Unreached {
-			return 0, false
+			return 0, false, nil
 		}
 		if wA > hB {
-			return wA, true
+			return wA, true, nil
 		}
-		return hB, true
+		return hB, true, nil
 	}
 	hA := idx.hopsA[i][j]
 	if hA == graph.Unreached {
-		return 0, false
+		return 0, false, nil
 	}
 	h := hA
 	if hB > h {
@@ -85,7 +120,7 @@ func (p *Product) HopsAt(v, w int) (hops int, ok bool) {
 	if h%2 != t {
 		h++
 	}
-	return h, true
+	return h, true, nil
 }
 
 // EccentricityAt returns the exact eccentricity of product vertex v — the
@@ -161,13 +196,23 @@ func (p *Product) EccentricityAt(v int) (int, error) {
 // Diameter returns the exact diameter of the product from factor
 // statistics, in O(n_A·m_A + n_B·m_B) total.  Requires strict premises.
 func (p *Product) Diameter() (int, error) {
+	return p.DiameterContext(context.Background())
+}
+
+// DiameterContext is Diameter under a context: the factor BFS precompute
+// (the dominant cost) checks ctx between per-vertex BFS runs and aborts
+// with ctx.Err() on cancellation.
+func (p *Product) DiameterContext(ctx context.Context) (int, error) {
 	if !p.strict {
 		return 0, errRelaxedDistances
 	}
 	if p.b.N() < 2 {
 		return 0, fmt.Errorf("core: factor B has fewer than 2 vertices; the product has no edges")
 	}
-	idx := p.distances()
+	idx, err := p.distancesContext(ctx)
+	if err != nil {
+		return 0, err
+	}
 	diam := 0
 	for t := 0; t < 2; t++ {
 		maxB := -1

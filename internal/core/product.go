@@ -49,9 +49,11 @@ type Product struct {
 	strict bool
 
 	// Lazily built factor BFS tables backing the exact distance ground
-	// truth (HopsAt, EccentricityAt, Diameter).
-	distOnce sync.Once
-	dist     *distanceIndex
+	// truth (HopsAt, EccentricityAt, Diameter).  Guarded by a mutex
+	// rather than sync.Once so a context-cancelled precompute can be
+	// retried on the next call.
+	distMu sync.Mutex
+	dist   *distanceIndex
 }
 
 // New constructs a Product and verifies the full premises of Assumption 1

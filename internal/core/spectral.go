@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"kronbip/internal/graph"
 	"kronbip/internal/grb"
+	"kronbip/internal/obs"
 )
 
 // Spectral ground truth.  The paper's §I lists eigenvalues among the
@@ -28,11 +30,19 @@ import (
 // relative convergence tolerance of the factor power iterations (e.g.
 // 1e-10); maxIter bounds the iteration count.
 func (p *Product) SpectralRadius(tol float64, maxIter int) (float64, error) {
-	ra, err := powerIteration(p.a.G.Adjacency(), tol, maxIter)
+	return p.SpectralRadiusContext(context.Background(), tol, maxIter)
+}
+
+// SpectralRadiusContext is SpectralRadius under a context: the factor
+// power iterations check ctx once per iteration and abort with ctx.Err()
+// on cancellation.
+func (p *Product) SpectralRadiusContext(ctx context.Context, tol float64, maxIter int) (float64, error) {
+	defer obs.Timed("core.spectral_radius")()
+	ra, err := powerIteration(ctx, p.a.G.Adjacency(), tol, maxIter)
 	if err != nil {
 		return 0, fmt.Errorf("core: factor A power iteration: %w", err)
 	}
-	rb, err := powerIteration(p.b.G.Adjacency(), tol, maxIter)
+	rb, err := powerIteration(ctx, p.b.G.Adjacency(), tol, maxIter)
 	if err != nil {
 		return 0, fmt.Errorf("core: factor B power iteration: %w", err)
 	}
@@ -46,12 +56,13 @@ func (p *Product) SpectralRadius(tol float64, maxIter int) (float64, error) {
 // adjacency matrix by power iteration — the direct route the factorized
 // SpectralRadius is validated against.
 func GraphSpectralRadius(g *graph.Graph, tol float64, maxIter int) (float64, error) {
-	return powerIteration(g.Adjacency(), tol, maxIter)
+	return powerIteration(context.Background(), g.Adjacency(), tol, maxIter)
 }
 
 // powerIteration estimates the spectral radius of a symmetric 0/1 matrix
-// by normalized power iteration with a deterministic start vector.
-func powerIteration(m *grb.Matrix[int64], tol float64, maxIter int) (float64, error) {
+// by normalized power iteration with a deterministic start vector,
+// checking ctx once per iteration.
+func powerIteration(ctx context.Context, m *grb.Matrix[int64], tol float64, maxIter int) (float64, error) {
 	n := m.NRows()
 	if n == 0 {
 		return 0, nil
@@ -77,6 +88,9 @@ func powerIteration(m *grb.Matrix[int64], tol float64, maxIter int) (float64, er
 	normalize(x)
 	prev := 0.0
 	for iter := 0; iter < maxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		y, err := grb.MxV(a, x)
 		if err != nil {
 			return 0, err

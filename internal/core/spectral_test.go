@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestPowerIterationKnown(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got, err := powerIteration(tc.m, specTol, 10000)
+			got, err := powerIteration(context.Background(), tc.m, specTol, 10000)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -48,7 +49,7 @@ func TestSpectralRadiusMatchesMaterialized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		direct, err := powerIteration(g.Adjacency(), specTol, 10000)
+		direct, err := powerIteration(context.Background(), g.Adjacency(), specTol, 10000)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"kronbip/internal/exec"
+	"kronbip/internal/obs"
 )
 
 // Sharded, parallel edge streaming.  Generation is embarrassingly parallel
@@ -24,6 +26,26 @@ import (
 // streamPollStride bounds how many product edges may be emitted after a
 // cancellation before the stream notices it.
 const streamPollStride = 1024
+
+// streamObsBatch is how many edges a shard accumulates locally before
+// flushing them to the shared edge counter — the "counters batched per
+// shard" half of the obs overhead contract: one atomic add per 1024
+// edges while enabled, zero per-edge work while disabled.
+const streamObsBatch = 1024
+
+// Metric names produced by the streaming generator, exported so the CLI
+// can wire its progress reporter to them.  Per-shard totals additionally
+// appear as obs.Labeled(MetricStreamEdges, "shard", s) counters.
+const (
+	MetricStreamEdges      = "core.stream.edges"       // product edges delivered to sinks
+	MetricStreamShardsDone = "core.stream.shards.done" // shards fully streamed
+)
+
+var (
+	mStreamEdges = obs.Default.Counter(MetricStreamEdges)
+	mShardsDone  = obs.Default.Counter(MetricStreamShardsDone)
+	hShardSecs   = obs.Default.Histogram("core.stream.shard_seconds")
+)
 
 // numRows returns the sharding row count.
 func (p *Product) numRows() int {
@@ -175,6 +197,14 @@ func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, s
 	if nshards <= 0 {
 		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
 	}
+	// One Enabled read decides the whole stream's code path: disabled
+	// runs take the exact pre-instrumentation per-edge loop.
+	instr := obs.Enabled()
+	var spanDone func()
+	if instr {
+		ctx, spanDone = obs.Span(ctx, "core.stream")
+		defer spanDone()
+	}
 	return exec.Sharded(ctx, nshards, func(ctx context.Context, s int) error {
 		sink := sinkFor(s)
 		edge := sink.Edge
@@ -182,13 +212,19 @@ func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, s
 			edge = f // skip the interface dispatch in the per-edge hot path
 		}
 		var sinkErr error
-		err := p.EachEdgeShardContext(ctx, s, nshards, func(v, w int) bool {
+		yield := func(v, w int) bool {
 			if e := edge(v, w); e != nil {
 				sinkErr = e
 				return false
 			}
 			return true
-		})
+		}
+		var err error
+		if instr {
+			err = p.streamShardInstrumented(ctx, s, nshards, yield)
+		} else {
+			err = p.EachEdgeShardContext(ctx, s, nshards, yield)
+		}
 		switch {
 		case err != nil:
 			return err
@@ -197,4 +233,34 @@ func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, s
 		}
 		return exec.Finish(sink)
 	})
+}
+
+// streamShardInstrumented streams one shard with per-shard metrics:
+// edges flush to the shared counter every streamObsBatch, and shard
+// completion records a labeled per-shard total, the done count, and the
+// shard's wall time.  Partial counts from aborted shards still flush, so
+// the progress reporter and final snapshot agree with what sinks saw.
+func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, yield func(v, w int) bool) error {
+	start := time.Now()
+	var batch, total int64
+	err := p.EachEdgeShardContext(ctx, s, nshards, func(v, w int) bool {
+		ok := yield(v, w)
+		if ok {
+			batch++
+			if batch == streamObsBatch {
+				mStreamEdges.Add(batch)
+				total += batch
+				batch = 0
+			}
+		}
+		return ok
+	})
+	mStreamEdges.Add(batch)
+	total += batch
+	obs.Default.Counter(obs.Labeled(MetricStreamEdges, "shard", s)).Add(total)
+	hShardSecs.Observe(time.Since(start).Seconds())
+	if err == nil {
+		mShardsDone.Inc()
+	}
+	return err
 }

@@ -16,11 +16,20 @@ import (
 
 	"kronbip/internal/exec"
 	"kronbip/internal/graph"
+	"kronbip/internal/obs"
 )
 
 // countPollStride bounds how many source vertices a counting worker may
 // process after a cancellation before it notices and aborts.
 const countPollStride = 64
+
+// Counter metrics: source vertices processed, flushed once per worker
+// stripe (never per vertex), so the enabled overhead is a handful of
+// atomic adds per parallel call.
+var (
+	mVertexSources = obs.Default.Counter("count.vertex_butterflies.vertices")
+	mEdgeSources   = obs.Default.Counter("count.edge_butterflies.vertices")
+)
 
 // VertexButterflies returns, for every vertex v, the number of 4-cycles
 // that contain v (the paper's s_A, Def. 8).  The graph must be simple
@@ -79,8 +88,14 @@ func VertexButterfliesParallelContext(ctx context.Context, g *graph.Graph, worke
 		}
 		return VertexButterflies(g)
 	}
+	instr := obs.Enabled()
+	ctx, spanDone := obs.Span(ctx, "count.vertex_butterflies")
+	defer spanDone()
 	s := make([]int64, n)
 	err := exec.Ranges(ctx, n, workers, func(ctx context.Context, _, lo, hi int) error {
+		if instr {
+			defer mVertexSources.Add(int64(hi - lo))
+		}
 		poll := exec.NewPoller(ctx, countPollStride)
 		c := exec.GetInt64s(n)
 		defer exec.PutInt64s(c)
@@ -271,8 +286,14 @@ func EdgeButterfliesParallelContext(ctx context.Context, g *graph.Graph, workers
 	}
 	// Resolve the worker count up front so parts indexing matches stripes.
 	workers = exec.Workers(workers, n)
+	instr := obs.Enabled()
+	ctx, spanDone := obs.Span(ctx, "count.edge_butterflies")
+	defer spanDone()
 	parts := make([]map[graph.Edge]int64, workers)
 	err := exec.Ranges(ctx, n, workers, func(ctx context.Context, w, lo, hi int) error {
+		if instr {
+			defer mEdgeSources.Add(int64(hi - lo))
+		}
 		poll := exec.NewPoller(ctx, countPollStride)
 		mark := exec.GetBools(n)
 		defer exec.PutBools(mark)

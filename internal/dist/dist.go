@@ -25,6 +25,15 @@ import (
 
 	"kronbip/internal/core"
 	"kronbip/internal/exec"
+	"kronbip/internal/obs"
+)
+
+// Cluster metrics: one flush per completed run (never per edge), so the
+// enabled overhead is a few atomic adds after the reduction.
+var (
+	mDistRuns  = obs.Default.Counter("dist.generate.runs")
+	mDistRanks = obs.Default.Counter("dist.generate.ranks")
+	mDistEdges = obs.Default.Counter("dist.generate.edges")
 )
 
 // Shard is one rank's generation result summary.
@@ -68,6 +77,12 @@ func GenerateContext(ctx context.Context, p *core.Product, ranks int) (*Result, 
 	if ranks > n {
 		ranks = n
 	}
+	instr := obs.Enabled()
+	if instr {
+		var done func()
+		ctx, done = obs.Span(ctx, "dist.generate")
+		defer done()
+	}
 	shards := make([]Shard, ranks)
 	err := exec.Sharded(ctx, ranks, func(ctx context.Context, rank int) error {
 		shard, err := generateRank(ctx, p, rank, ranks)
@@ -95,6 +110,11 @@ func GenerateContext(ctx context.Context, p *core.Product, ranks int) (*Result, 
 	}
 	res.GlobalFour /= 4
 	res.GlobalFourE /= 4
+	if instr {
+		mDistRuns.Inc()
+		mDistRanks.Add(int64(ranks))
+		mDistEdges.Add(res.TotalEdges)
+	}
 	return res, nil
 }
 

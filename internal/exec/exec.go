@@ -26,11 +26,31 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"kronbip/internal/obs"
 )
+
+// Pool metrics (internal/obs).  Accounting is per shard task, never per
+// element, and only performed while instrumentation is enabled — the
+// disabled cost is one atomic load per ShardedN call.
+var (
+	poolTasks   = obs.Default.Counter("exec.pool.tasks")         // shard tasks executed
+	poolCancels = obs.Default.Counter("exec.pool.cancellations") // pool runs aborted by ctx
+	poolActive  = obs.Default.Gauge("exec.pool.active")          // tasks running right now
+	poolPeak    = obs.Default.Gauge("exec.pool.peak")            // high-water pool occupancy
+)
+
+// notePoolCancelled counts a pool run that ended in cancellation.
+func notePoolCancelled(instr bool, err error) {
+	if instr && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		poolCancels.Inc()
+	}
+}
 
 // Sharded runs fn(ctx, shard) for every shard in [0, nshards) on a bounded
 // worker pool of GOMAXPROCS goroutines.  Shards are claimed in order but
@@ -60,12 +80,23 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 	if workers > nshards {
 		workers = nshards
 	}
+	instr := obs.Enabled()
 	if workers == 1 {
 		for s := 0; s < nshards; s++ {
 			if err := ctx.Err(); err != nil {
+				notePoolCancelled(instr, err)
 				return err
 			}
-			if err := fn(ctx, s); err != nil {
+			if instr {
+				poolTasks.Inc()
+				poolPeak.Max(poolActive.Add(1))
+			}
+			err := fn(ctx, s)
+			if instr {
+				poolActive.Add(-1)
+			}
+			if err != nil {
+				notePoolCancelled(instr, err)
 				return err
 			}
 		}
@@ -97,7 +128,15 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 				if s >= nshards || wctx.Err() != nil {
 					return
 				}
-				if err := fn(wctx, s); err != nil {
+				if instr {
+					poolTasks.Inc()
+					poolPeak.Max(poolActive.Add(1))
+				}
+				err := fn(wctx, s)
+				if instr {
+					poolActive.Add(-1)
+				}
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -108,10 +147,11 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
-	if err != nil {
-		return err
+	if err == nil {
+		err = ctx.Err()
 	}
-	return ctx.Err()
+	notePoolCancelled(instr, err)
+	return err
 }
 
 // Workers resolves a requested worker count against n work items: values

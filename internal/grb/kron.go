@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kronbip/internal/exec"
+	"kronbip/internal/obs"
 )
 
 // Kron computes the Kronecker product C = A ⊗ B (the paper's Def. 4, the
@@ -39,6 +40,13 @@ func KronParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers
 		return nil, fmt.Errorf("grb: kron nnz overflow: %d * %d", nnzA, nnzB)
 	}
 	nnz := nnzA * nnzB
+	if obs.Enabled() {
+		var done func()
+		ctx, done = obs.Span(ctx, "grb.kron")
+		defer done()
+		mKronCalls.Inc()
+		mKronNNZ.Add(int64(nnz))
+	}
 	rowPtr := make([]int, nr+1)
 	colIdx := make([]int, nnz)
 	val := make([]T, nnz)

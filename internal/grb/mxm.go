@@ -6,11 +6,34 @@ import (
 	"sort"
 
 	"kronbip/internal/exec"
+	"kronbip/internal/obs"
 )
 
 // kernelPollStride bounds how many output rows a kernel worker may compute
 // after a cancellation before it notices and aborts.
 const kernelPollStride = 256
+
+// Kernel metrics.  Flop counts are derived from the sparsity structure
+// outside the inner loops (one O(nnz) pass per call while enabled), so
+// the Gustavson hot loops carry no instrumentation at all.
+var (
+	mMxMFlops  = obs.Default.Counter("grb.mxm.flops")
+	mMxVFlops  = obs.Default.Counter("grb.mxv.flops")
+	mKronNNZ   = obs.Default.Counter("grb.kron.entries")
+	mMxMCalls  = obs.Default.Counter("grb.mxm.calls")
+	mMxVCalls  = obs.Default.Counter("grb.mxv.calls")
+	mKronCalls = obs.Default.Counter("grb.kron.calls")
+)
+
+// mxmFlops counts the multiply-add pairs of C = A·B: for every stored
+// A(i,k), one per stored entry of B's row k.
+func mxmFlops[T Number](a, b *Matrix[T]) int64 {
+	var flops int64
+	for _, col := range a.colIdx {
+		flops += int64(b.rowPtr[col+1] - b.rowPtr[col])
+	}
+	return flops
+}
 
 // MxM computes C = A·B over the conventional (+,*) semiring using
 // Gustavson's row-wise algorithm with a dense accumulator.
@@ -73,6 +96,13 @@ func MxMParallel[T Number](a, b *Matrix[T], workers int) (*Matrix[T], error) {
 func MxMParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers int) (*Matrix[T], error) {
 	if a.nc != b.nr {
 		return nil, fmt.Errorf("grb: MxM dimension mismatch: %dx%d times %dx%d", a.nr, a.nc, b.nr, b.nc)
+	}
+	if obs.Enabled() {
+		var done func()
+		ctx, done = obs.Span(ctx, "grb.mxm")
+		defer done()
+		mMxMCalls.Inc()
+		mMxMFlops.Add(mxmFlops(a, b))
 	}
 	if exec.Workers(workers, a.nr) <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -170,6 +200,13 @@ func MxVParallel[T Number](a *Matrix[T], x []T, workers int) ([]T, error) {
 func MxVParallelContext[T Number](ctx context.Context, a *Matrix[T], x []T, workers int) ([]T, error) {
 	if len(x) != a.nc {
 		return nil, fmt.Errorf("grb: MxV dimension mismatch: matrix %dx%d, vector %d", a.nr, a.nc, len(x))
+	}
+	if obs.Enabled() {
+		var done func()
+		ctx, done = obs.Span(ctx, "grb.mxv")
+		defer done()
+		mMxVCalls.Inc()
+		mMxVFlops.Add(int64(a.NNZ()))
 	}
 	y := make([]T, a.nr)
 	if a.nr == 0 {

@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Export formats.  One registry snapshot serves two consumers:
+//
+//   - WriteJSON: an expvar-style JSON document (-metrics-out, the
+//     /metrics.json endpoint) — the machine-readable run record the
+//     BENCH trajectory and perf PRs diff against;
+//   - WritePrometheus: the Prometheus text exposition format
+//     (/metrics) for scraping long-lived runs.
+//
+// Both renderings are deterministic (sorted names) so they can be
+// golden-tested and diffed across runs.
+
+// BucketCount is one histogram bucket in a snapshot.  LE is the upper
+// bound rendered as a string ("0.005", "+Inf") because JSON has no
+// encoding for infinity; Count is the non-cumulative bucket count.
+type BucketCount struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// SpanSnapshot is a span path's aggregate at snapshot time.
+type SpanSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+}
+
+// Snapshot is a point-in-time copy of a registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      map[string]SpanSnapshot      `json:"spans"`
+}
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := &Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Spans:      make(map[string]SpanSnapshot, len(r.spans)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.buckets {
+			le := "+Inf"
+			if i < len(h.bounds) {
+				le = formatFloat(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{LE: le, Count: h.buckets[i].Load()})
+		}
+		s.Histograms[name] = hs
+	}
+	for path, sp := range r.spans {
+		s.Spans[path] = SpanSnapshot{
+			Count:        sp.Count(),
+			TotalSeconds: sp.Total().Seconds(),
+			MaxSeconds:   sp.Max().Seconds(),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON (keys sorted by
+// encoding/json's map ordering, so output is deterministic).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// splitLabels separates a Labeled metric name into its base and label
+// suffix: `a.b{shard="3"}` → ("a.b", `shard="3"`).
+func splitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promName sanitizes a dotted metric base into a legal Prometheus metric
+// name: every rune outside [a-zA-Z0-9_:] becomes '_'.
+func promName(base string) string {
+	var b strings.Builder
+	for i, r := range base {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// promLine renders one exposition line: name, optional label body,
+// value.
+func promLine(name, labels, value string) string {
+	if labels != "" {
+		name += "{" + labels + "}"
+	}
+	return name + " " + value + "\n"
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4).  Labeled series (see Labeled) group with their
+// unlabeled base under a single metric family; spans export as the
+// span_count / span_seconds_total / span_seconds_max families labeled by
+// span path.  Output is fully sorted and deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	type family struct {
+		typ   string
+		lines []string // one rendered exposition line each, sorted before output
+	}
+	families := map[string]*family{}
+	add := func(name, typ, line string) {
+		f := families[name]
+		if f == nil {
+			f = &family{typ: typ}
+			families[name] = f
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for name, v := range snap.Counters {
+		base, labels := splitLabels(name)
+		pn := promName(base)
+		add(pn, "counter", promLine(pn, labels, strconv.FormatInt(v, 10)))
+	}
+	for name, v := range snap.Gauges {
+		base, labels := splitLabels(name)
+		pn := promName(base)
+		add(pn, "gauge", promLine(pn, labels, strconv.FormatInt(v, 10)))
+	}
+	for name, h := range snap.Histograms {
+		base, labels := splitLabels(name)
+		pn := promName(base)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := `le="` + b.LE + `"`
+			if labels != "" {
+				le = labels + "," + le
+			}
+			add(pn, "histogram", promLine(pn+"_bucket", le, strconv.FormatInt(cum, 10)))
+		}
+		add(pn, "histogram", promLine(pn+"_sum", labels, formatFloat(h.Sum)))
+		add(pn, "histogram", promLine(pn+"_count", labels, strconv.FormatInt(h.Count, 10)))
+	}
+	for path, sp := range snap.Spans {
+		label := fmt.Sprintf("span=%q", path)
+		add("span_count", "counter", promLine("span_count", label, strconv.FormatInt(sp.Count, 10)))
+		add("span_seconds_total", "counter", promLine("span_seconds_total", label, formatFloat(sp.TotalSeconds)))
+		add("span_seconds_max", "gauge", promLine("span_seconds_max", label, formatFloat(sp.MaxSeconds)))
+	}
+
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := families[name]
+		if f.typ != "histogram" {
+			sort.Strings(f.lines) // histogram lines keep ascending-bucket order
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := io.WriteString(w, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MetricsHandler serves the Prometheus rendering (the /metrics
+// endpoint).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON snapshot (the /metrics.json endpoint).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenRegistry builds the deterministic registry the export goldens
+// render: one of everything, including labeled series and a nested
+// span.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("core.stream.edges").Add(108)
+	r.Counter(Labeled("core.stream.edges", "shard", 0)).Add(62)
+	r.Counter(Labeled("core.stream.edges", "shard", 1)).Add(46)
+	r.Counter("exec.pool.tasks").Add(2)
+	r.Gauge("exec.pool.peak").Set(2)
+	h := r.Histogram("core.stream.shard_seconds", 0.005, 0.05, 0.5)
+	for _, v := range []float64{0.001, 0.004, 0.02, 0.3, 2.5} {
+		h.Observe(v)
+	}
+	r.ObserveSpan("generate/core.stream", 1500*time.Millisecond)
+	r.ObserveSpan("generate/core.stream", 500*time.Millisecond)
+	r.ObserveSpan("generate", 2*time.Second)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("prometheus output drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Rendering twice must be byte-identical (deterministic ordering).
+	var again bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two renderings of the same registry differ")
+	}
+}
+
+func TestJSONSnapshotShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if snap.Counters["core.stream.edges"] != 108 {
+		t.Fatalf("counters = %v", snap.Counters)
+	}
+	if snap.Counters[`core.stream.edges{shard="1"}`] != 46 {
+		t.Fatalf("labeled counter missing: %v", snap.Counters)
+	}
+	if snap.Gauges["exec.pool.peak"] != 2 {
+		t.Fatalf("gauges = %v", snap.Gauges)
+	}
+	h, ok := snap.Histograms["core.stream.shard_seconds"]
+	if !ok || h.Count != 5 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	if last := h.Buckets[len(h.Buckets)-1]; last.LE != "+Inf" || last.Count != 1 {
+		t.Fatalf("+Inf bucket = %+v", last)
+	}
+	sp, ok := snap.Spans["generate/core.stream"]
+	if !ok || sp.Count != 2 || sp.TotalSeconds != 2.0 || sp.MaxSeconds != 1.5 {
+		t.Fatalf("span snapshot = %+v", sp)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := goldenRegistry()
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := httpGet("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return resp
+	}
+	if body := get("/metrics"); !bytes.Contains(body, []byte("core_stream_edges")) {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if body := get("/metrics.json"); !bytes.Contains(body, []byte(`"core.stream.edges"`)) {
+		t.Fatalf("/metrics.json missing counter:\n%s", body)
+	}
+	if body := get("/debug/pprof/cmdline"); len(body) == 0 {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}

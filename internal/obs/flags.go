@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Flags is the standard observability flag bundle shared by the
+// kronbip and experiments CLIs.  Register it on a subcommand's FlagSet,
+// then bracket the work with Start/stop:
+//
+//	obsFlags := obs.RegisterFlags(fs)
+//	fs.Parse(args)
+//	stop, err := obsFlags.Start()
+//	if err != nil { return err }
+//	defer stop()
+//
+// Setting any flag enables instrumentation for the run (SetEnabled);
+// with none set, Start is a no-op and the hot paths keep their
+// uninstrumented code paths.
+type Flags struct {
+	Progress   time.Duration
+	MetricsOut string
+	CPUProfile string
+	MemProfile string
+	Trace      string
+	DebugAddr  string
+}
+
+// RegisterFlags binds the observability flags onto fs and returns the
+// destination struct (populated after fs.Parse).
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.DurationVar(&f.Progress, "progress", 0, "emit a structured progress line at this interval during generation (0 = off)")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a final JSON metrics snapshot to this file")
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
+	return f
+}
+
+// Active reports whether any observability flag was set.
+func (f *Flags) Active() bool {
+	return f.Progress > 0 || f.MetricsOut != "" || f.CPUProfile != "" ||
+		f.MemProfile != "" || f.Trace != "" || f.DebugAddr != ""
+}
+
+// Start enables instrumentation and starts every facility the flags ask
+// for: profiles, the debug server, and (at stop time) the -metrics-out
+// snapshot of the Default registry.  The returned stop function is safe
+// to call exactly once and returns the first teardown error; when no
+// flag is set both Start and stop are no-ops.
+func (f *Flags) Start() (stop func() error, err error) {
+	if !f.Active() {
+		return func() error { return nil }, nil
+	}
+	SetEnabled(true)
+	stopProf, err := StartProfiles(f.CPUProfile, f.MemProfile, f.Trace)
+	if err != nil {
+		SetEnabled(false)
+		return nil, err
+	}
+	var srv *DebugServer
+	if f.DebugAddr != "" {
+		if srv, err = ServeDebug(f.DebugAddr, Default); err != nil {
+			_ = stopProf()
+			SetEnabled(false)
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s (/metrics, /metrics.json, /debug/pprof)\n", srv.Addr())
+	}
+	return func() error {
+		firstErr := stopProf()
+		if srv != nil {
+			if err := srv.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if f.MetricsOut != "" {
+			if err := writeSnapshotFile(f.MetricsOut); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		SetEnabled(false)
+		return firstErr
+	}, nil
+}
+
+// writeSnapshotFile writes the Default registry's JSON snapshot.
+func writeSnapshotFile(path string) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: -metrics-out: %w", err)
+	}
+	if err := Default.WriteJSON(out); err != nil {
+		out.Close()
+		return fmt.Errorf("obs: -metrics-out: %w", err)
+	}
+	return out.Close()
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestFlagsInactiveIsNoop(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Active() {
+		t.Fatal("no flags set but Active() = true")
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("inactive Start must not enable instrumentation")
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagsLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	args := []string{
+		"-progress", "10ms",
+		"-metrics-out", filepath.Join(dir, "m.json"),
+		"-cpuprofile", filepath.Join(dir, "cpu.pprof"),
+		"-memprofile", filepath.Join(dir, "mem.pprof"),
+		"-trace", filepath.Join(dir, "trace.out"),
+	}
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Active() || f.Progress != 10*time.Millisecond {
+		t.Fatalf("flags = %+v", f)
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Start must enable instrumentation")
+	}
+	Default.Counter("flags.test.counter").Add(7)
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("stop must disable instrumentation")
+	}
+
+	// Every artifact exists and the snapshot round-trips.
+	for _, name := range []string{"m.json", "cpu.pprof", "mem.pprof", "trace.out"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if name != "cpu.pprof" && info.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "m.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["flags.test.counter"] != 7 {
+		t.Fatalf("snapshot counters = %v", snap.Counters)
+	}
+}

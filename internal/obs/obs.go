@@ -1,0 +1,221 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms), nested span/stage timing, a periodic structured progress
+// reporter, and profiling hooks.  Every generation, counting and kernel
+// path reports through this one package so that a multi-hour streaming
+// run over a (A+I)⊗A product is never a black box, and so perf PRs have
+// machine-readable numbers to be judged by.
+//
+// Overhead contract (see DESIGN.md §8): instrumentation is off by
+// default.  While disabled, per-edge hot paths take their original,
+// uninstrumented code path (the only cost is one atomic load per shard
+// when choosing it), spans are a single atomic load, and per-shard pool
+// accounting is skipped.  While enabled, hot-path counters are batched —
+// the streaming generator flushes its edge counter once every 1024
+// edges, kernels derive flop counts outside their inner loops — so the
+// enabled cost stays far below one atomic op per element.
+//
+// Metric handles are cheap pointers: resolve them once (package-level
+// var or at stage start), then Add/Observe without further lookups.
+// Names are dotted paths ("core.stream.edges"); Labeled composes a
+// Prometheus-style label suffix for per-shard/per-rank series.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled is the global instrumentation switch; see the package comment
+// for the overhead contract it gates.
+var enabled atomic.Bool
+
+// SetEnabled flips global instrumentation on or off.  The CLIs enable it
+// when any observability flag is set; tests may toggle it directly.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether instrumentation is on.  Hot paths read it once
+// per shard/stage (not per element) to pick a code path.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (use batched deltas on hot paths).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (pool occupancy, heap bytes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to decrement) and returns the new value, so
+// occupancy-style gauges can feed their high-water mark in one call.
+func (g *Gauge) Add(n int64) int64 { return g.v.Add(n) }
+
+// Max raises the gauge to n if n exceeds the current value — the
+// high-water-mark operation (e.g. peak pool occupancy).
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefSecondsBuckets is the default histogram bucketing, tuned for
+// wall-time observations in seconds from sub-millisecond kernel calls to
+// multi-minute shards.
+var DefSecondsBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 300}
+
+// Histogram is a fixed-bucket histogram: observations are counted into
+// the first bucket whose upper bound is >= the value (Prometheus "le"
+// semantics), with an implicit +Inf bucket at the end.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefSecondsBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.  Safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Bounds returns the (sorted) finite upper bounds.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Registry holds named metrics.  Lookup is get-or-create and safe for
+// concurrent use; handles stay valid for the registry's lifetime.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*SpanStats
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		spans:    map[string]*SpanStats{},
+	}
+}
+
+// Default is the process-wide registry every built-in instrumentation
+// site reports to and the CLIs export from.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// finite upper bounds on first use (empty bounds select
+// DefSecondsBuckets).  Later calls return the existing histogram
+// regardless of the bounds argument.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Reset drops every metric; existing handles keep counting into orphaned
+// metrics.  Intended for tests.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.spans = map[string]*SpanStats{}
+}
+
+// Labeled composes a metric name with one label, Prometheus-style:
+// Labeled("core.stream.edges", "shard", 3) → `core.stream.edges{shard="3"}`.
+// The export layer understands the suffix, so labeled series group under
+// one metric family in the Prometheus rendering.
+func Labeled(base, key string, value any) string {
+	return fmt.Sprintf("%s{%s=%q}", base, key, fmt.Sprint(value))
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(5)
+	if got := g.Add(-2); got != 3 {
+		t.Fatalf("gauge Add returned %d, want 3", got)
+	}
+	g.Max(10)
+	g.Max(7) // lower: no effect
+	if g.Value() != 10 {
+		t.Fatalf("gauge = %d, want 10", g.Value())
+	}
+
+	h := r.Histogram("h", 1, 10)
+	for _, v := range []float64{0.5, 0.7, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("hist count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 106.2; got != want {
+		t.Fatalf("hist sum = %g, want %g", got, want)
+	}
+	for i, want := range []int64{2, 1, 1} { // le=1, le=10, +Inf
+		if got := h.buckets[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("seconds")
+	if len(h.Bounds()) != len(DefSecondsBuckets) {
+		t.Fatalf("default bounds = %v", h.Bounds())
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got, want := Labeled("core.stream.edges", "shard", 3), `core.stream.edges{shard="3"}`; got != want {
+		t.Fatalf("Labeled = %q, want %q", got, want)
+	}
+	base, labels := splitLabels(`a.b{shard="3"}`)
+	if base != "a.b" || labels != `shard="3"` {
+		t.Fatalf("splitLabels = %q, %q", base, labels)
+	}
+	if base, labels := splitLabels("plain"); base != "plain" || labels != "" {
+		t.Fatalf("splitLabels(plain) = %q, %q", base, labels)
+	}
+}
+
+func TestSpanNestingAndGate(t *testing.T) {
+	SetEnabled(false)
+	ctx, done := Span(context.Background(), "off")
+	done()
+	if ctx != context.Background() {
+		t.Fatal("disabled Span should return the context unchanged")
+	}
+
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := NewRegistry()
+	ctx, outer := r.StartSpan(context.Background(), "outer")
+	_, inner := r.StartSpan(ctx, "inner")
+	time.Sleep(time.Millisecond)
+	inner()
+	outer()
+
+	snap := r.Snapshot()
+	if _, ok := snap.Spans["outer"]; !ok {
+		t.Fatalf("missing outer span; have %v", snap.Spans)
+	}
+	nested, ok := snap.Spans["outer/inner"]
+	if !ok {
+		t.Fatalf("missing nested span path; have %v", snap.Spans)
+	}
+	if nested.Count != 1 || nested.TotalSeconds <= 0 || nested.MaxSeconds <= 0 {
+		t.Fatalf("nested span stats = %+v", nested)
+	}
+}
+
+func TestTimed(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	Default.Reset()
+	stop := Timed("unit.test.timed")
+	stop()
+	if got := Default.Snapshot().Spans["unit.test.timed"].Count; got != 1 {
+		t.Fatalf("timed span count = %d, want 1", got)
+	}
+}
+
+func TestObserveSpanDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveSpan("s", 250*time.Millisecond)
+	r.ObserveSpan("s", 750*time.Millisecond)
+	snap := r.Snapshot().Spans["s"]
+	if snap.Count != 2 || snap.TotalSeconds != 1.0 || snap.MaxSeconds != 0.75 {
+		t.Fatalf("span snapshot = %+v", snap)
+	}
+}
+
+func TestEnabledToggle(t *testing.T) {
+	SetEnabled(false)
+	if Enabled() {
+		t.Fatal("expected disabled")
+	}
+	if stop := Timed("x"); stop == nil {
+		t.Fatal("Timed must return a callable no-op when disabled")
+	}
+	SetEnabled(true)
+	if !Enabled() {
+		t.Fatal("expected enabled")
+	}
+	SetEnabled(false)
+}
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"core.stream.edges":   "core_stream_edges",
+		"exec.pool.active":    "exec_pool_active",
+		"9lives":              "_9lives",
+		"with-dash and space": "with_dash_and_space",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if strings.ContainsAny(promName("a{b}=c"), "{}=") {
+		t.Fatal("promName left illegal runes")
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// Profiling hooks.  StartProfiles turns the standard Go profile triple
+// (-cpuprofile / -memprofile / -trace) on for the life of a run;
+// ServeDebug exposes live pprof plus the metrics endpoints for
+// long-running generations that should be inspected while in flight.
+
+// StartProfiles begins CPU profiling and execution tracing and arranges
+// a heap profile at stop time.  Any argument may be empty to skip that
+// profile.  The returned stop function ends profiling, writes the heap
+// profile (after a GC, so it reflects live memory) and closes the
+// files; call it exactly once, and only after all profiled work is
+// done.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuF, traceF *os.File
+	cleanup := func() {
+		if cpuF != nil {
+			runtimepprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if traceF != nil {
+			trace.Stop()
+			traceF.Close()
+		}
+	}
+	if cpuPath != "" {
+		if cpuF, err = os.Create(cpuPath); err != nil {
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+		if err = runtimepprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("obs: -cpuprofile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if traceF, err = os.Create(tracePath); err != nil {
+			cleanup()
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+		if err = trace.Start(traceF); err != nil {
+			traceF.Close()
+			traceF = nil
+			cleanup()
+			return nil, fmt.Errorf("obs: -trace: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuF != nil {
+			runtimepprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if traceF != nil {
+			trace.Stop()
+			if err := traceF.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("obs: -memprofile: %w", err)
+				}
+			} else {
+				runtime.GC() // profile live objects, not garbage
+				if err := runtimepprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("obs: -memprofile: %w", err)
+				}
+				if err := f.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		return firstErr
+	}, nil
+}
+
+// DebugServer is the live-inspection HTTP server started by ServeDebug.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug serves live observability endpoints on addr (":0" picks a
+// free port; see Addr):
+//
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot (the -metrics-out document)
+//	/debug/pprof/   net/http/pprof index (profile, heap, trace, ...)
+//
+// The server runs until Close; serving errors after Close are ignored.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: -debug-addr: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address ("127.0.0.1:43512"), useful with ":0".
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress periodically reports streaming-generation progress as one
+// structured (logfmt-style) line per interval:
+//
+//	progress elapsed=2s edges=8400000 edges_per_sec=4200000 pct=49.5 shards=3/8 heap_mb=85.4
+//
+// edges_per_sec is the instantaneous rate over the last interval, not a
+// run average, so stalls are visible immediately.  The Edges and
+// ShardsDone functions are sampled on each tick; baselines are recorded
+// at Start so a reporter wired to cumulative process-wide counters
+// reports per-run numbers.
+type Progress struct {
+	// Interval between report lines; <= 0 disables the reporter.
+	Interval time.Duration
+	// Out receives the report lines; nil selects os.Stderr.
+	Out io.Writer
+	// Edges returns the cumulative edge count (typically a Counter's
+	// Value).  Required; a nil Edges disables the reporter.
+	Edges func() int64
+	// TotalEdges is the expected edge total for completion percentage;
+	// 0 omits the pct field.
+	TotalEdges int64
+	// ShardsDone returns the cumulative completed-shard count; nil
+	// omits the shards field.
+	ShardsDone func() int64
+	// TotalShards sizes the shards=done/total field.
+	TotalShards int64
+}
+
+// Start launches the reporting goroutine and returns a stop function
+// that halts it and waits for the final in-flight line to finish.  Safe
+// to call stop more than once.
+func (p *Progress) Start() (stop func()) {
+	if p.Interval <= 0 || p.Edges == nil {
+		return func() {}
+	}
+	out := p.Out
+	if out == nil {
+		out = os.Stderr
+	}
+	baseEdges := p.Edges()
+	var baseShards int64
+	if p.ShardsDone != nil {
+		baseShards = p.ShardsDone()
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(p.Interval)
+		defer ticker.Stop()
+		start := time.Now()
+		lastT, lastEdges := start, int64(0)
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-ticker.C:
+				edges := p.Edges() - baseEdges
+				dt := now.Sub(lastT).Seconds()
+				rate := 0.0
+				if dt > 0 {
+					rate = float64(edges-lastEdges) / dt
+				}
+				lastT, lastEdges = now, edges
+
+				line := fmt.Sprintf("progress elapsed=%s edges=%d edges_per_sec=%.0f",
+					now.Sub(start).Round(time.Millisecond), edges, rate)
+				if p.TotalEdges > 0 {
+					line += fmt.Sprintf(" pct=%.1f", 100*float64(edges)/float64(p.TotalEdges))
+				}
+				if p.ShardsDone != nil && p.TotalShards > 0 {
+					line += fmt.Sprintf(" shards=%d/%d", p.ShardsDone()-baseShards, p.TotalShards)
+				}
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				line += fmt.Sprintf(" heap_mb=%.1f\n", float64(ms.HeapAlloc)/(1<<20))
+				io.WriteString(out, line)
+			}
+		}
+	}()
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

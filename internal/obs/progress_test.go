@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// lockedBuffer lets the reporter goroutine and the test share a buffer.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestProgressReportsStructuredLines(t *testing.T) {
+	r := NewRegistry()
+	edges := r.Counter("test.progress.edges")
+	shards := r.Counter("test.progress.shards")
+	edges.Add(1000) // pre-existing count: reporter must baseline it away
+
+	out := &lockedBuffer{}
+	p := &Progress{
+		Interval:    2 * time.Millisecond,
+		Out:         out,
+		Edges:       edges.Value,
+		TotalEdges:  4000,
+		ShardsDone:  shards.Value,
+		TotalShards: 4,
+	}
+	stop := p.Start()
+	edges.Add(2000)
+	shards.Add(2)
+	// Wait for at least one line rather than sleeping a fixed time.
+	deadline := time.Now().Add(5 * time.Second)
+	for out.String() == "" && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+
+	got := out.String()
+	if got == "" {
+		t.Fatal("reporter emitted nothing")
+	}
+	line := got[:bytes.IndexByte([]byte(got), '\n')+1]
+	re := regexp.MustCompile(`^progress elapsed=\S+ edges=(\d+) edges_per_sec=\d+ pct=([\d.]+) shards=(\d+)/4 heap_mb=[\d.]+\n$`)
+	m := re.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatalf("line %q does not match the structured format", line)
+	}
+	if n, _ := strconv.Atoi(m[1]); n != 2000 {
+		t.Fatalf("edges field = %s, want 2000 (baseline not subtracted?)", m[1])
+	}
+	if pct, _ := strconv.ParseFloat(m[2], 64); pct != 50.0 {
+		t.Fatalf("pct = %v, want 50", pct)
+	}
+	if m[3] != "2" {
+		t.Fatalf("shards done = %s, want 2", m[3])
+	}
+}
+
+func TestProgressDisabled(t *testing.T) {
+	// No interval, or no edges source: Start must return a no-op.
+	for _, p := range []*Progress{
+		{Interval: 0, Edges: func() int64 { return 0 }},
+		{Interval: time.Millisecond},
+	} {
+		stop := p.Start()
+		stop()
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// httpGet is a minimal GET helper shared by the handler tests.
+func httpGet(url string) ([]byte, error) {
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// TestConcurrentUpdates hammers a single counter, gauge, histogram and
+// span from many goroutines while snapshots are taken concurrently; run
+// under -race (make race) it proves the registry's synchronization.
+func TestConcurrentUpdates(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("race.counter")
+			g := r.Gauge("race.gauge")
+			h := r.Histogram("race.hist", 0.5)
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Max(int64(w*iters + i))
+				h.Observe(float64(i) / iters)
+				// Exercise get-or-create races too.
+				r.Counter(Labeled("race.labeled", "w", w)).Inc()
+				if i%500 == 0 {
+					_, done := r.StartSpan(context.Background(), "race.span")
+					done()
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and renderings while writers run.
+	var readers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Snapshot()
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["race.counter"]; got != workers*iters {
+		t.Fatalf("counter = %d, want %d", got, workers*iters)
+	}
+	if got := snap.Gauges["race.gauge"]; got != workers*iters-1 {
+		t.Fatalf("gauge high-water = %d, want %d", got, workers*iters-1)
+	}
+	if got := snap.Histograms["race.hist"].Count; got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := snap.Counters[Labeled("race.labeled", "w", w)]; got != iters {
+			t.Fatalf("labeled counter %d = %d, want %d", w, got, iters)
+		}
+	}
+}
+
+// TestProgressConcurrentWithUpdates races the reporter against counter
+// updates; meaningful under -race.
+func TestProgressConcurrentWithUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race.progress.edges")
+	p := &Progress{Interval: time.Millisecond, Out: io.Discard, Edges: c.Value, TotalEdges: 1 << 20}
+	stopReport := p.Start()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50000; i++ {
+			c.Add(16)
+		}
+	}()
+	<-done
+	stopReport()
+	stopReport() // double-stop is safe
+}

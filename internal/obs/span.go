@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Span/stage timing.  A span measures the wall time of one named stage
+// ("core.stream", "grb.mxm") and aggregates {count, total, max} per
+// stage path in the registry.  Spans nest through the context: a span
+// opened under another span's context records under the joined path
+// ("generate/core.stream"), so the per-stage breakdown of a pipeline
+// falls out of the snapshot without any global coordination.
+//
+// When instrumentation is disabled, Span and Timed cost one atomic load
+// and return no-ops.
+
+// SpanStats aggregates the completed timings of one span path.
+type SpanStats struct {
+	count   atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (s *SpanStats) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	s.count.Add(1)
+	s.totalNs.Add(ns)
+	for {
+		cur := s.maxNs.Load()
+		if ns <= cur || s.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns how many times the span completed.
+func (s *SpanStats) Count() int64 { return s.count.Load() }
+
+// Total returns the accumulated wall time.
+func (s *SpanStats) Total() time.Duration { return time.Duration(s.totalNs.Load()) }
+
+// Max returns the longest single completion.
+func (s *SpanStats) Max() time.Duration { return time.Duration(s.maxNs.Load()) }
+
+// span returns the named span stats, creating them on first use.
+func (r *Registry) span(path string) *SpanStats {
+	r.mu.RLock()
+	s := r.spans[path]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s = r.spans[path]; s == nil {
+		s = &SpanStats{}
+		r.spans[path] = s
+	}
+	return s
+}
+
+// ObserveSpan records one completed duration under the span path
+// directly — the escape hatch for call sites that measure time
+// themselves (and for deterministic tests of the export formats).
+func (r *Registry) ObserveSpan(path string, d time.Duration) {
+	r.span(path).observe(d)
+}
+
+// spanKey carries the enclosing span path through the context.
+type spanKey struct{}
+
+var noopDone = func() {}
+
+// StartSpan opens a span named name in r, nesting under any span already
+// on ctx.  It returns the derived context to pass downstream and a done
+// function recording the elapsed wall time; call done exactly once.
+// Disabled instrumentation returns ctx unchanged and a no-op.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	if !Enabled() {
+		return ctx, noopDone
+	}
+	path := name
+	if parent, ok := ctx.Value(spanKey{}).(string); ok && parent != "" {
+		path = parent + "/" + name
+	}
+	stats := r.span(path)
+	start := time.Now()
+	return context.WithValue(ctx, spanKey{}, path), func() {
+		stats.observe(time.Since(start))
+	}
+}
+
+// Span opens a span in the Default registry; see Registry.StartSpan.
+//
+//	ctx, done := obs.Span(ctx, "kron.mxm")
+//	defer done()
+func Span(ctx context.Context, name string) (context.Context, func()) {
+	return Default.StartSpan(ctx, name)
+}
+
+// Timed times a stage with no context to nest through, recording under
+// the bare name in the Default registry:
+//
+//	defer obs.Timed("experiments.tab1")()
+func Timed(name string) func() {
+	if !Enabled() {
+		return noopDone
+	}
+	stats := Default.span(name)
+	start := time.Now()
+	return func() { stats.observe(time.Since(start)) }
+}
