@@ -4,6 +4,7 @@
 #   make race       - race-detector pass over the concurrent packages
 #   make bench      - streaming + engine benchmarks
 #   make bench-json - same benchmarks as a dated BENCH_<date>.json record
+#   make bench-check- compare the last two BENCH_<date>.json records
 #   make check      - everything (what CI should run)
 
 GO ?= go
@@ -12,9 +13,9 @@ BENCH_DATE := $(shell date +%Y-%m-%d)
 # Packages with nontrivial concurrency: everything scheduled on the
 # internal/exec engine plus the engine itself and the obs registry the
 # instrumented paths hammer concurrently.
-RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs
+RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit
 
-.PHONY: all vet build test race bench bench-json check
+.PHONY: all vet build test race bench bench-json bench-check check
 
 all: vet build test
 
@@ -40,5 +41,12 @@ bench-json:
 	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
 	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
+
+# bench-check compares the two most recent records with a generous 2x
+# threshold: it catches lost parallelism or accidental quadratic blowups,
+# not machine-to-machine noise.  Passes trivially with fewer than two
+# records.
+bench-check:
+	$(GO) run ./cmd/benchcheck -dir .
 
 check: vet build test race

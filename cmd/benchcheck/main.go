@@ -1,0 +1,164 @@
+// Command benchcheck compares the two most recent BENCH_<date>.json
+// records (written by `make bench-json`) and fails when any benchmark
+// regressed by more than a threshold factor.
+//
+// Usage:
+//
+//	benchcheck                     # compare the last two BENCH_*.json in .
+//	benchcheck -threshold 1.5      # tighter regression bound
+//	benchcheck old.json new.json   # compare two explicit records
+//
+// The threshold is deliberately generous (2x by default): the dated
+// records come from whatever machine ran `make bench-json`, so only
+// order-of-magnitude regressions — an accidental O(n²), a lost parallel
+// path — should fail the build, not scheduler noise.  With fewer than
+// two records there is nothing to compare and the command passes.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kronbip/internal/cli"
+)
+
+func main() {
+	os.Exit(realMain(os.Args[1:], os.Stdout))
+}
+
+func realMain(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory holding BENCH_<date>.json records")
+	threshold := fs.Float64("threshold", 2.0, "fail when new ns/op exceeds old by this factor")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	old, new_, err := pickPair(fs.Args(), *dir)
+	if err != nil {
+		return cli.Fail("benchcheck", err)
+	}
+	if old == "" {
+		fmt.Fprintln(out, "benchcheck: fewer than two BENCH_*.json records; nothing to compare")
+		return 0
+	}
+	if err := compare(old, new_, *threshold, out); err != nil {
+		return cli.Fail("benchcheck", err)
+	}
+	return 0
+}
+
+// pickPair resolves the (old, new) record pair: two explicit paths, or
+// the lexically-last two BENCH_*.json in dir (ISO dates sort by name).
+func pickPair(args []string, dir string) (old, new_ string, err error) {
+	switch len(args) {
+	case 2:
+		return args[0], args[1], nil
+	case 0:
+		files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return "", "", err
+		}
+		sort.Strings(files)
+		if len(files) < 2 {
+			return "", "", nil
+		}
+		return files[len(files)-2], files[len(files)-1], nil
+	default:
+		return "", "", fmt.Errorf("want zero or two record paths, got %d", len(args))
+	}
+}
+
+func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
+	oldNs, err := parseRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	newNs, err := parseRecord(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressed := 0
+	for _, name := range names {
+		nw, ok := newNs[name]
+		if !ok {
+			fmt.Fprintf(out, "benchcheck %s: removed (was %.0f ns/op)\n", name, oldNs[name])
+			continue
+		}
+		ratio := nw / oldNs[name]
+		verdict := "ok"
+		if ratio > threshold {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(out, "benchcheck %s: old=%.0f new=%.0f ratio=%.2f %s\n",
+			name, oldNs[name], nw, ratio, verdict)
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Fprintf(out, "benchcheck %s: new benchmark (%.0f ns/op)\n", name, newNs[name])
+		}
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx (%s vs %s)",
+			regressed, threshold, filepath.Base(oldPath), filepath.Base(newPath))
+	}
+	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within %.1fx of %s\n",
+		len(names), threshold, filepath.Base(oldPath))
+	return nil
+}
+
+// benchLine matches a benchmark result in reassembled `go test` output.
+// The name may carry a `-N` GOMAXPROCS suffix and `/subtest` segments;
+// `go test -json` often splits the name and the numbers across separate
+// Output events, so parseRecord matches against the concatenated text.
+var benchLine = regexp.MustCompile(`(Benchmark[\w./-]+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseRecord extracts name -> ns/op from a `go test -json` record.
+func parseRecord(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var text strings.Builder
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("%s: not go-test-JSON: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	ns := make(map[string]float64)
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		ns[m[1]] = v
+	}
+	if len(ns) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return ns, nil
+}

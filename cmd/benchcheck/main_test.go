@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// record writes a minimal go-test-JSON benchmark record.  The name and
+// the numbers are deliberately split across two Output events, as `go
+// test -json` really emits them.
+func record(t *testing.T, dir, name string, benches [][2]string) string {
+	t.Helper()
+	var b strings.Builder
+	for _, bench := range benches {
+		b.WriteString(`{"Action":"output","Package":"kronbip","Output":"` + bench[0] + `\n"}` + "\n")
+		b.WriteString(`{"Action":"output","Package":"kronbip","Output":"` + bench[0] +
+			`-8   \t     100\t  ` + bench[1] + ` ns/op\n"}` + "\n")
+	}
+	b.WriteString(`{"Action":"pass","Package":"kronbip"}` + "\n")
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRecordSplitOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := record(t, dir, "BENCH_2026-01-01.json", [][2]string{
+		{"BenchmarkStream_EachEdgeSerial", "10103803"},
+		{"BenchmarkScratchPool/pooled", "13911"},
+		{"BenchmarkPollerCancelled", "14.86"},
+	})
+	ns, err := parseRecord(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkStream_EachEdgeSerial": 10103803,
+		"BenchmarkScratchPool/pooled":    13911,
+		"BenchmarkPollerCancelled":       14.86,
+	}
+	if len(ns) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(ns), len(want), ns)
+	}
+	for name, v := range want {
+		if got := ns[name]; got != v {
+			t.Fatalf("%s = %v, want %v (GOMAXPROCS suffix not stripped?)", name, got, v)
+		}
+	}
+}
+
+func TestCompareWithinThreshold(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_2026-01-01.json", [][2]string{
+		{"BenchmarkA", "1000"}, {"BenchmarkB", "500"},
+	})
+	record(t, dir, "BENCH_2026-01-02.json", [][2]string{
+		{"BenchmarkA", "1800"}, {"BenchmarkB", "400"}, {"BenchmarkC", "7"},
+	})
+	var out bytes.Buffer
+	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkA: old=1000 new=1800 ratio=1.80 ok",
+		"BenchmarkC: new benchmark",
+		"within 2.0x",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkA", "1000"}})
+	new_ := record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkA", "2500"}})
+	var out bytes.Buffer
+	if code := realMain([]string{old, new_}, &out); code == 0 {
+		t.Fatalf("2.5x regression passed, output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ratio=2.50 REGRESSED") {
+		t.Fatalf("output missing regression verdict:\n%s", out.String())
+	}
+	// A looser explicit threshold accepts the same pair.
+	out.Reset()
+	if code := realMain([]string{"-threshold", "3", old, new_}, &out); code != 0 {
+		t.Fatalf("exit %d under -threshold 3, output:\n%s", code, out.String())
+	}
+}
+
+func TestCompareFewerThanTwoRecordsPasses(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkA", "1000"}})
+	var out bytes.Buffer
+	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
+		t.Fatalf("exit %d with a single record:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "nothing to compare") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestPicksLexicallyLastTwo(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkA", "1"}})
+	record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkA", "1000"}})
+	record(t, dir, "BENCH_2026-01-03.json", [][2]string{{"BenchmarkA", "1100"}})
+	old, new_, err := pickPair(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(old) != "BENCH_2026-01-02.json" || filepath.Base(new_) != "BENCH_2026-01-03.json" {
+		t.Fatalf("picked (%s, %s)", old, new_)
+	}
+	// The comparison must use 02 as baseline: 1100/1000 passes, 1100/1 would not.
+	var out bytes.Buffer
+	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ratio=1.10 ok") {
+		t.Fatalf("output %q", out.String())
+	}
+}

@@ -15,7 +15,9 @@
 // The observability flags (-metrics-out, -cpuprofile, -memprofile, -trace,
 // -debug-addr) instrument the run; with -metrics-out the final snapshot
 // includes one "experiments.<id>" span per experiment, so the snapshot
-// doubles as a per-experiment time breakdown.
+// doubles as a per-experiment time breakdown.  -timeline-out/-journal-out
+// additionally record a per-stage/shard/kernel event timeline (Chrome
+// trace_event JSON / logfmt; see internal/obs/timeline).
 package main
 
 import (
@@ -32,6 +34,7 @@ import (
 	"kronbip/internal/graph"
 	"kronbip/internal/mmio"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 var errValidation = errors.New("one or more experiments failed")
@@ -52,6 +55,7 @@ func realMain() int {
 		mdOut   = flag.String("md", "", "run everything and write the EXPERIMENTS.md report to this path (overrides -run)")
 	)
 	obsFlags := obs.RegisterFlags(flag.CommandLine)
+	tlFlags := timeline.RegisterFlags(flag.CommandLine)
 	verb := cli.RegisterVerbosity(flag.CommandLine)
 	flag.Parse()
 
@@ -59,7 +63,17 @@ func realMain() int {
 	if err != nil {
 		return cli.Fail("experiments", err)
 	}
+	stopTL, err := tlFlags.Start(os.Stderr)
+	if err != nil {
+		stopObs()
+		return cli.Fail("experiments", err)
+	}
 	err = runExperiments(*run, *seed, *samples, *workers, *outDir, *steps, *unicode, *mdOut, verb)
+	// Stop the timeline first so its straggler gauges land in the
+	// -metrics-out snapshot the obs stop writes.
+	if stopErr := stopTL(); stopErr != nil && err == nil {
+		err = stopErr
+	}
 	if stopErr := stopObs(); stopErr != nil && err == nil {
 		err = stopErr
 	}
@@ -309,7 +323,14 @@ func runExperiments(run string, seed int64, samples, workers int, outDir string,
 		ran++
 		fmt.Printf("=== %s ===\n", s.id)
 		done := obs.Timed("experiments." + s.id)
+		var end timeline.Done
+		if timeline.Enabled() {
+			end = timeline.Begin(timeline.CatStage, "experiments."+s.id, 0)
+		}
 		err := s.run(s.id)
+		if end != nil {
+			end(err)
+		}
 		done()
 		if err != nil {
 			cli.Fail("experiments "+s.id, err)

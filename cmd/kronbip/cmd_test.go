@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"kronbip/internal/audit"
+	"kronbip/internal/obs"
 )
 
 func TestCmdStats(t *testing.T) {
@@ -220,5 +224,134 @@ func TestCmdGenerateMetricsOut(t *testing.T) {
 	}
 	if sp.Count < 1 || sp.TotalSeconds < 0 {
 		t.Errorf("span core.stream = %+v, want count >= 1", sp)
+	}
+}
+
+// TestCmdGenerateTimelineOut runs a timeline-recorded generate and asserts
+// the -timeline-out file is valid Chrome trace_event JSON carrying shard
+// events, and that the straggler gauges reach both the JSON metrics
+// snapshot and the Prometheus exposition.
+func TestCmdGenerateTimelineOut(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "edges")
+	tpath := filepath.Join(dir, "t.json")
+	jpath := filepath.Join(dir, "j.log")
+	mpath := filepath.Join(dir, "m.json")
+	err := cmdGenerate(ctx, []string{
+		"-factor", "crown3", "-edges-out", prefix, "-shards", "3",
+		"-timeline-out", tpath, "-journal-out", jpath, "-metrics-out", mpath, "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			Dur  int64  `json:"dur"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("-timeline-out is not valid Chrome trace JSON: %v", err)
+	}
+	byName := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q has ph=%q, want complete events (X)", ev.Name, ev.Ph)
+		}
+		byName[ev.Cat+"/"+ev.Name]++
+	}
+	if byName["shard/core.stream"] != 3 {
+		t.Errorf("trace has %d shard/core.stream events, want 3 (one per shard)", byName["shard/core.stream"])
+	}
+	if byName["shard/exec.pool"] != 3 {
+		t.Errorf("trace has %d shard/exec.pool events, want 3", byName["shard/exec.pool"])
+	}
+
+	journal, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(journal), "cat=shard name=core.stream") ||
+		!strings.Contains(string(journal), "journal events=") {
+		t.Errorf("-journal-out missing events or trailer:\n%s", journal)
+	}
+
+	// Straggler gauges: in the -metrics-out JSON snapshot...
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Gauges map[string]int64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	key := `timeline.straggler_permille{group="shard/core.stream"}`
+	v, ok := snap.Gauges[key]
+	if !ok {
+		t.Fatalf("metrics snapshot missing gauge %s (gauges: %v)", key, snap.Gauges)
+	}
+	if v < 1000 {
+		t.Errorf("straggler ratio = %d permille, must be >= 1000 (max >= mean)", v)
+	}
+	if _, ok := snap.Gauges["timeline.events"]; !ok {
+		t.Error("metrics snapshot missing timeline.events")
+	}
+	// ...and in the Prometheus exposition of the same registry.
+	var prom bytes.Buffer
+	if err := obs.Default.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `timeline_straggler_permille{group="shard/core.stream"}`) {
+		t.Error("Prometheus exposition missing timeline_straggler_permille series")
+	}
+}
+
+// TestCmdGenerateAudit exercises the -audit positive path (clean run
+// passes every theorem cross-check) and the injected-corruption negative
+// path (non-nil ErrViolation, which cli.Fail turns into exit 1).
+func TestCmdGenerateAudit(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	if err := cmdGenerate(ctx, []string{
+		"-factor", "crown3", "-edges-out", filepath.Join(dir, "clean"),
+		"-shards", "2", "-audit", "-audit-sample", "1", "-quiet",
+	}); err != nil {
+		t.Fatalf("clean audited run failed: %v", err)
+	}
+	// The nonbip mode takes the other theorem family (Thm. 3/5).
+	if err := cmdGenerate(ctx, []string{
+		"-factor", "biclique2x3", "-mode", "nonbip",
+		"-edges-out", filepath.Join(dir, "clean2"), "-shards", "2", "-audit", "-quiet",
+	}); err != nil {
+		t.Fatalf("clean audited nonbip run failed: %v", err)
+	}
+
+	err := cmdGenerate(ctx, []string{
+		"-factor", "crown3", "-edges-out", filepath.Join(dir, "corrupt"),
+		"-shards", "2", "-audit", "-audit-inject-drop", "7", "-quiet",
+	})
+	if !errors.Is(err, audit.ErrViolation) {
+		t.Fatalf("corrupted run returned %v, want audit.ErrViolation", err)
+	}
+	// -audit-inject-drop alone implies auditing (the hook is useless
+	// without the checks).
+	err = cmdGenerate(ctx, []string{
+		"-factor", "crown3", "-edges-out", filepath.Join(dir, "corrupt2"),
+		"-shards", "1", "-audit-inject-drop", "1", "-quiet",
+	})
+	if !errors.Is(err, audit.ErrViolation) {
+		t.Fatalf("drop without -audit returned %v, want audit.ErrViolation", err)
 	}
 }

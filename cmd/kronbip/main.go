@@ -28,6 +28,12 @@
 // -shards defaults to GOMAXPROCS (stdout output forces one shard), and
 // -timeout bounds the run.  SIGINT/SIGTERM cancel cleanly mid-stream —
 // partial output is reported as such and the process exits 130.
+//
+// -audit cross-checks the streamed output against the paper's theorems
+// during the run (internal/audit) and exits non-zero on any violation;
+// -timeline-out / -journal-out record a per-shard event timeline
+// (internal/obs/timeline) as Chrome trace_event JSON / logfmt, distinct
+// from -trace, which captures the Go runtime trace.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"strings"
 	"syscall"
 
+	"kronbip/internal/audit"
 	"kronbip/internal/cli"
 	"kronbip/internal/core"
 	"kronbip/internal/count"
@@ -48,6 +55,7 @@ import (
 	"kronbip/internal/gen"
 	"kronbip/internal/graph"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 func main() {
@@ -185,7 +193,11 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	out := fs.String("edges-out", "-", "edge list destination ('-' for stdout)")
 	shards := fs.Int("shards", 0, "shard files to write in parallel (<edges-out>.shardK); 0 = GOMAXPROCS, 1 = single file; needs -edges-out for N>1")
 	timeout := fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
+	auditOn := fs.Bool("audit", false, "cross-check the streamed output against theorem ground truth (degree sums, dual-route 4-cycles, sampled edge membership and Thm. 3/4 spot checks); exit non-zero on any violation")
+	auditSample := fs.Int("audit-sample", 0, "with -audit, membership-check every Nth streamed edge (0 = default 1024, 1 = every edge)")
+	auditDrop := fs.Int64("audit-inject-drop", 0, "testing hook: make the auditor believe N streamed edges were lost (forces a stream.count violation)")
 	obsFlags := obs.RegisterFlags(fs)
+	tlFlags := timeline.RegisterFlags(fs)
 	verb := cli.RegisterVerbosity(fs)
 	fs.Parse(args)
 
@@ -218,6 +230,18 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	stopTL, err := tlFlags.Start(os.Stderr)
+	if err != nil {
+		stopObs()
+		return err
+	}
+	// The auditor taps the edge stream (per-shard child sinks) and runs
+	// the theorem cross-checks after generation; -audit-inject-drop is
+	// the negative-path hook proving a corrupted stream exits non-zero.
+	var auditor *audit.Auditor
+	if *auditOn || *auditDrop > 0 {
+		auditor = audit.New(p, audit.Options{SampleEvery: *auditSample})
+	}
 	// The progress reporter samples the stream's process-wide counters
 	// (baselined at Start, so the numbers are per-run) at the requested
 	// interval; it stops — and gets out of the way of the summary line —
@@ -232,11 +256,27 @@ func cmdGenerate(ctx context.Context, args []string) error {
 
 	genErr := func() error {
 		if nshards == 1 {
-			return generateSingle(ctx, p, *out, verb)
+			return generateSingle(ctx, p, *out, auditor, verb)
 		}
-		return generateSharded(ctx, p, *out, nshards, verb)
+		return generateSharded(ctx, p, *out, nshards, auditor, verb)
 	}()
 	stopProgress()
+	// Audit once the stream is complete but before the exporters stop,
+	// so violations reach the timeline and the -metrics-out snapshot.
+	if auditor != nil && genErr == nil {
+		if *auditDrop > 0 {
+			auditor.Stream().InjectDrop(*auditDrop)
+		}
+		report := auditor.Finalize()
+		if err := report.WriteSummary(os.Stderr); err != nil {
+			genErr = err
+		} else {
+			genErr = report.Err()
+		}
+	}
+	if err := stopTL(); err != nil && genErr == nil {
+		genErr = err
+	}
 	if err := stopObs(); err != nil && genErr == nil {
 		genErr = err
 	}
@@ -247,7 +287,7 @@ func cmdGenerate(ctx context.Context, args []string) error {
 // stdout) through the engine's TSV sink, cancellably.  It runs as a
 // one-shard parallel stream so the single-file path shares the sharded
 // path's instrumentation (edge counters, span timing, shard completion).
-func generateSingle(ctx context.Context, p *core.Product, out string, verb *cli.Verbosity) error {
+func generateSingle(ctx context.Context, p *core.Product, out string, auditor *audit.Auditor, verb *cli.Verbosity) error {
 	w := os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
@@ -260,6 +300,9 @@ func generateSingle(ctx context.Context, p *core.Product, out string, verb *cli.
 	tsv := exec.NewTSVSink(w)
 	var cnt exec.CountingSink
 	sink := exec.MultiSink{tsv, &cnt}
+	if auditor != nil {
+		sink = append(sink, auditor.Stream().ForShard())
+	}
 	err := p.StreamEdgesParallelContext(ctx, 1, func(int) exec.Sink { return sink })
 	if err != nil {
 		return err
@@ -272,7 +315,7 @@ func generateSingle(ctx context.Context, p *core.Product, out string, verb *cli.
 // engine's bounded worker pool — the distributed-generation shape of the
 // paper's future-work discussion, in-process.  Cancellation (Ctrl-C,
 // -timeout) aborts all shards promptly, leaving partial shard files.
-func generateSharded(ctx context.Context, p *core.Product, prefix string, shards int, verb *cli.Verbosity) error {
+func generateSharded(ctx context.Context, p *core.Product, prefix string, shards int, auditor *audit.Auditor, verb *cli.Verbosity) error {
 	if prefix == "-" {
 		return fmt.Errorf("sharded output needs -edges-out to name a file prefix")
 	}
@@ -285,7 +328,11 @@ func generateSharded(ctx context.Context, p *core.Product, prefix string, shards
 		}
 		defer f.Close()
 		files[s] = f
-		sinks[s] = exec.NewTSVSink(f)
+		if auditor != nil {
+			sinks[s] = exec.MultiSink{exec.NewTSVSink(f), auditor.Stream().ForShard()}
+		} else {
+			sinks[s] = exec.NewTSVSink(f)
+		}
 	}
 	err := p.StreamEdgesParallelContext(ctx, shards, func(s int) exec.Sink {
 		return sinks[s]

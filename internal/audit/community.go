@@ -1,0 +1,111 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+
+	"kronbip/internal/community"
+	"kronbip/internal/core"
+	"kronbip/internal/graph"
+)
+
+// checkCommunity audits the Thm. 7 / Cor. 1–2 community machinery on a
+// mode (ii) product.  It seeds factor communities from the top-degree
+// vertices of each side, cross-checks the Thm. 7 m_in/m_out closed
+// forms against direct pair counting over the (small) product
+// community, and asserts the corollary density bounds.
+func checkCommunity(p *core.Product, top int, r *Report) {
+	bA, err := graph.AsBipartite(p.FactorA().G)
+	if err != nil {
+		// Mode (ii) construction already verified A bipartite; a failure
+		// here is itself a finding.
+		r.record("community.setup", false, fmt.Sprintf("factor A: %v", err))
+		return
+	}
+	bB := bipartiteFromProduct(p)
+
+	sa, err := community.NewSet(bA, topDegreeMembers(bA, top))
+	if err == nil {
+		var sb *community.Set
+		if sb, err = community.NewSet(bB, topDegreeMembers(bB, top)); err == nil {
+			var pc *community.ProductCommunity
+			if pc, err = community.NewProductCommunity(p, sa, sb); err == nil {
+				auditProductCommunity(p, pc, r)
+				return
+			}
+		}
+	}
+	r.record("community.setup", false, err.Error())
+}
+
+// auditProductCommunity books the formula and bound checks for one
+// product community.
+func auditProductCommunity(p *core.Product, pc *community.ProductCommunity, r *Report) {
+	// Thm. 7 exact formulas vs direct counting.  The community has
+	// |S_A|·|S_B| members — a handful of top-degree vertices per side —
+	// so the quadratic pair scan over HasEdge is cheap, and DegreeAt
+	// turns the boundary count into Σ deg − 2·m_in.
+	members := pc.Members()
+	var mIn, degSum int64
+	for x, v := range members {
+		degSum += p.DegreeAt(v)
+		for _, w := range members[x+1:] {
+			if p.HasEdge(v, w) {
+				mIn++
+			}
+		}
+	}
+	mOut := degSum - 2*mIn
+	r.record("community.thm7_m_in", pc.InternalEdges() == mIn,
+		fmt.Sprintf("Thm. 7 m_in=%d vs direct count %d over %d members", pc.InternalEdges(), mIn, len(members)))
+	r.record("community.thm7_m_out", pc.ExternalEdges() == mOut,
+		fmt.Sprintf("Thm. 7 m_out=%d vs direct count %d", pc.ExternalEdges(), mOut))
+
+	// Cor. 1 lower bound on internal density (tight 2θ form) and Cor. 2
+	// upper bound on external density (+Inf when degenerate).
+	_, thetaB := pc.Cor1Bound()
+	rhoIn, rhoOut := pc.InternalDensity(), pc.ExternalDensity()
+	r.record("community.cor1", fgeq(rhoIn, thetaB),
+		fmt.Sprintf("ρ_in=%.6g below Cor. 1 bound %.6g", rhoIn, thetaB))
+	cor2 := pc.Cor2Bound()
+	r.record("community.cor2", fleq(rhoOut, cor2),
+		fmt.Sprintf("ρ_out=%.6g above Cor. 2 bound %.6g", rhoOut, cor2))
+}
+
+// bipartiteFromProduct rebuilds B's bipartition exactly as the product
+// sees it (SideOf), so the community premise check on declared-vs-fresh
+// colorings cannot trip for disconnected factors.
+func bipartiteFromProduct(p *core.Product) *graph.Bipartite {
+	g := p.FactorB().G
+	part := graph.Bipartition{Color: make([]graph.Side, g.N())}
+	for k := 0; k < g.N(); k++ {
+		side := p.SideOf(p.IndexOf(0, k))
+		part.Color[k] = side
+		if side == graph.SideU {
+			part.U = append(part.U, k)
+		} else {
+			part.W = append(part.W, k)
+		}
+	}
+	return &graph.Bipartite{Graph: g, Part: part}
+}
+
+// topDegreeMembers picks up to `top` highest-degree vertices from each
+// side of b (ties broken by vertex id for determinism).
+func topDegreeMembers(b *graph.Bipartite, top int) []int {
+	pick := func(side []int) []int {
+		s := append([]int(nil), side...)
+		sort.SliceStable(s, func(x, y int) bool {
+			dx, dy := b.Degree(s[x]), b.Degree(s[y])
+			if dx != dy {
+				return dx > dy
+			}
+			return s[x] < s[y]
+		})
+		if len(s) > top {
+			s = s[:top]
+		}
+		return s
+	}
+	return append(pick(b.Part.U), pick(b.Part.W)...)
+}

@@ -1,0 +1,142 @@
+package audit
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kronbip/internal/core"
+	"kronbip/internal/exec"
+)
+
+// StreamAuditor is an exec.Sink that audits the edge stream itself:
+// it counts every edge (the total must land exactly on NumEdges()) and
+// membership-checks every sampleEvery-th edge against the factors —
+// HasEdge (O(log d), no materialization) plus the bipartition crossing.
+//
+// The top-level auditor is safe for concurrent writers (atomic
+// counters); for sharded streams prefer one ForShard child per shard,
+// which accumulates locally and merges on Flush — the same batching
+// contract the obs per-shard counters follow.
+type StreamAuditor struct {
+	p           *core.Product
+	sampleEvery int64
+
+	edges   atomic.Int64
+	sampled atomic.Int64
+	bad     atomic.Int64
+	dropped atomic.Int64 // InjectDrop corruption (tests, -audit negative paths)
+
+	mu       sync.Mutex
+	firstBad string
+}
+
+// NewStream builds a stream auditor for p checking every sampleEvery-th
+// edge (<= 0 selects the Options default of 1024).
+func NewStream(p *core.Product, sampleEvery int) *StreamAuditor {
+	if sampleEvery <= 0 {
+		sampleEvery = Options{}.withDefaults().SampleEvery
+	}
+	return &StreamAuditor{p: p, sampleEvery: int64(sampleEvery)}
+}
+
+// Edge audits one streamed edge.  It never returns an error: a bad edge
+// is a finding to report at Finalize, not a reason to abort the stream
+// mid-run.
+func (s *StreamAuditor) Edge(v, w int) error {
+	n := s.edges.Add(1)
+	if n%s.sampleEvery == 0 {
+		s.sampled.Add(1)
+		mSampled.Inc()
+		s.checkEdge(v, w)
+	}
+	return nil
+}
+
+// Edges returns the number of edges seen so far (before InjectDrop
+// adjustment).
+func (s *StreamAuditor) Edges() int64 { return s.edges.Load() }
+
+// InjectDrop makes the auditor behave as if n streamed edges had been
+// lost — the corruption hook behind the negative tests and the CLI's
+// -audit-inject-drop flag.  The count check must then fail.
+func (s *StreamAuditor) InjectDrop(n int64) { s.dropped.Add(n) }
+
+// checkEdge verifies one edge is a real product edge crossing the
+// bipartition, recording the first offender verbatim.
+func (s *StreamAuditor) checkEdge(v, w int) {
+	ok := v >= 0 && w >= 0 && v < s.p.N() && w < s.p.N() &&
+		s.p.HasEdge(v, w) && s.p.SideOf(v) != s.p.SideOf(w)
+	if ok {
+		return
+	}
+	s.bad.Add(1)
+	s.mu.Lock()
+	if s.firstBad == "" {
+		s.firstBad = fmt.Sprintf("edge {%d,%d} is not a bipartition-crossing product edge", v, w)
+	}
+	s.mu.Unlock()
+}
+
+// ForShard returns a per-shard child sink accumulating locally; its
+// Flush merges into the parent.  Aborted shards may skip Flush, which
+// under-counts — exactly what the count check should then report.
+func (s *StreamAuditor) ForShard() exec.Sink { return &shardAuditor{parent: s} }
+
+// finalize books the stream checks into r.
+func (s *StreamAuditor) finalize(r *Report) {
+	seen := s.edges.Load() - s.dropped.Load()
+	want := s.p.NumEdges()
+	r.record("stream.count", seen == want,
+		fmt.Sprintf("streamed %d edges, closed form says %d", seen, want))
+	detail := s.firstBad
+	if detail == "" {
+		detail = "no offender recorded"
+	}
+	r.record("stream.membership", s.bad.Load() == 0,
+		fmt.Sprintf("%d of %d sampled edges failed membership; first: %s",
+			s.bad.Load(), s.sampled.Load(), detail))
+}
+
+// shardAuditor is the per-shard child: local counters, merge on Flush.
+type shardAuditor struct {
+	parent   *StreamAuditor
+	edges    int64
+	sampled  int64
+	bad      int64
+	firstBad string
+}
+
+// Edge audits one edge with shard-local accounting.
+func (s *shardAuditor) Edge(v, w int) error {
+	s.edges++
+	if s.edges%s.parent.sampleEvery == 0 {
+		s.sampled++
+		p := s.parent.p
+		if !(v >= 0 && w >= 0 && v < p.N() && w < p.N() &&
+			p.HasEdge(v, w) && p.SideOf(v) != p.SideOf(w)) {
+			s.bad++
+			if s.firstBad == "" {
+				s.firstBad = fmt.Sprintf("edge {%d,%d} is not a bipartition-crossing product edge", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Flush merges the shard's tallies into the parent.
+func (s *shardAuditor) Flush() error {
+	s.parent.edges.Add(s.edges)
+	s.parent.sampled.Add(s.sampled)
+	mSampled.Add(s.sampled)
+	if s.bad > 0 {
+		s.parent.bad.Add(s.bad)
+		s.parent.mu.Lock()
+		if s.parent.firstBad == "" {
+			s.parent.firstBad = s.firstBad
+		}
+		s.parent.mu.Unlock()
+	}
+	s.edges, s.sampled, s.bad = 0, 0, 0
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 
 	"kronbip/internal/exec"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 // Sharded, parallel edge streaming.  Generation is embarrassingly parallel
@@ -242,6 +243,10 @@ func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, s
 // the progress reporter and final snapshot agree with what sinks saw.
 func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, yield func(v, w int) bool) error {
 	start := time.Now()
+	var end timeline.Done
+	if timeline.Enabled() {
+		end = timeline.Begin(timeline.CatShard, "core.stream", s)
+	}
 	var batch, total int64
 	err := p.EachEdgeShardContext(ctx, s, nshards, func(v, w int) bool {
 		ok := yield(v, w)
@@ -261,6 +266,9 @@ func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, y
 	hShardSecs.Observe(time.Since(start).Seconds())
 	if err == nil {
 		mShardsDone.Inc()
+	}
+	if end != nil {
+		end(err)
 	}
 	return err
 }

@@ -26,6 +26,7 @@ import (
 	"kronbip/internal/core"
 	"kronbip/internal/exec"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 // Cluster metrics: one flush per completed run (never per edge), so the
@@ -83,9 +84,20 @@ func GenerateContext(ctx context.Context, p *core.Product, ranks int) (*Result, 
 		ctx, done = obs.Span(ctx, "dist.generate")
 		defer done()
 	}
+	// One timeline read for the whole run: each rank then records one
+	// begin/end event, so a straggling or cancelled rank is visible as a
+	// long or not-OK "dist.generate" lane in the trace.
+	tl := timeline.Enabled()
 	shards := make([]Shard, ranks)
 	err := exec.Sharded(ctx, ranks, func(ctx context.Context, rank int) error {
+		var end timeline.Done
+		if tl {
+			end = timeline.Begin(timeline.CatRank, "dist.generate", rank)
+		}
 		shard, err := generateRank(ctx, p, rank, ranks)
+		if end != nil {
+			end(err)
+		}
 		if err != nil {
 			return err
 		}

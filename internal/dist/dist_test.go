@@ -1,11 +1,17 @@
 package dist
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"testing"
+	"time"
 
 	"kronbip/internal/core"
 	"kronbip/internal/count"
 	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+	"kronbip/internal/obs/timeline"
 )
 
 func products(t *testing.T) map[string]*core.Product {
@@ -116,4 +122,110 @@ func TestGenerateDeterministicAcrossRankCounts(t *testing.T) {
 	if r1.GlobalFour != r7.GlobalFour || r1.TotalEdges != r7.TotalEdges || r1.MaxVertexFour != r7.MaxVertexFour {
 		t.Fatal("reductions differ across rank counts")
 	}
+}
+
+// TestGlobalFourRoutesAgree cross-checks the two independent ground-truth
+// routes (Σ s_v / 4 vs Σ ◊_e / 4) against the analytic product total on a
+// table of factor pairs spanning both product modes.
+func TestGlobalFourRoutesAgree(t *testing.T) {
+	cases := []struct {
+		name string
+		a    *graph.Graph
+		b    *graph.Graph
+		mode core.Mode
+	}{
+		{"petersen_crown3_mode1", gen.Petersen(), gen.Crown(3).Graph, core.ModeNonBipartiteFactor},
+		{"c5_kb23_mode1", gen.Cycle(5), gen.CompleteBipartite(2, 3).Graph, core.ModeNonBipartiteFactor},
+		{"k4_crown4_mode1", gen.Complete(4), gen.Crown(4).Graph, core.ModeNonBipartiteFactor},
+		{"lollipop_kb22_mode1", gen.Lollipop(3, 2), gen.CompleteBipartite(2, 2).Graph, core.ModeNonBipartiteFactor},
+		{"path4_kb22_mode2", gen.Path(4), gen.CompleteBipartite(2, 2).Graph, core.ModeSelfLoopFactor},
+		{"hypercube3_kb23_mode2", gen.Hypercube(3), gen.CompleteBipartite(2, 3).Graph, core.ModeSelfLoopFactor},
+		{"grid33_crown3_mode2", gen.Grid(3, 3), gen.Crown(3).Graph, core.ModeSelfLoopFactor},
+		{"star5_kb33_mode2", gen.Star(5), gen.CompleteBipartite(3, 3).Graph, core.ModeSelfLoopFactor},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := core.New(tc.a, tc.b, tc.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Generate(p, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.GlobalFour != res.GlobalFourE {
+				t.Fatalf("vertex route %d != edge route %d", res.GlobalFour, res.GlobalFourE)
+			}
+			if res.GlobalFour != p.GlobalFourCycles() {
+				t.Fatalf("distributed □ = %d, analytic %d", res.GlobalFour, p.GlobalFourCycles())
+			}
+		})
+	}
+}
+
+// TestCancellationNoPartialCompleteInTimeline cancels a run mid-flight and
+// asserts the event timeline never marks a shard complete (OK=true) that the
+// cancelled run did not actually finish: the count of OK rank events is
+// strictly below the rank total, and no rank appears OK more than once.
+func TestCancellationNoPartialCompleteInTimeline(t *testing.T) {
+	// Large product + one rank per vertex so the run comprises thousands of
+	// pool tasks; cancellation after the first completed rank then lands
+	// mid-run with overwhelming probability.  Retry guards the (harmless)
+	// race where the whole run beats the cancel.
+	p, err := core.New(gen.Hypercube(10), gen.CompleteBipartite(5, 5).Graph, core.ModeSelfLoopFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := p.N()
+
+	timeline.SetEnabled(true)
+	t.Cleanup(func() {
+		timeline.SetEnabled(false)
+		timeline.Default.Reset()
+	})
+
+	for attempt := 0; attempt < 3; attempt++ {
+		timeline.Default.Reset()
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := GenerateContext(ctx, p, ranks)
+			errCh <- err
+		}()
+		// Wait for the first recorded event (a rank finished), then cancel.
+		deadline := time.Now().Add(10 * time.Second)
+		for timeline.Default.Len() == 0 && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		cancel()
+		err := <-errCh
+		if err == nil {
+			continue // run won the race against cancel; try again
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
+		events, _ := timeline.Default.Snapshot()
+		okRanks := map[int]int{}
+		ok := 0
+		for _, ev := range events {
+			if ev.Cat != timeline.CatRank || ev.Name != "dist.generate" {
+				continue
+			}
+			if ev.ID < 0 || ev.ID >= ranks {
+				t.Fatalf("rank event id %d outside [0,%d)", ev.ID, ranks)
+			}
+			if ev.OK {
+				ok++
+				if okRanks[ev.ID]++; okRanks[ev.ID] > 1 {
+					t.Fatalf("rank %d marked complete twice", ev.ID)
+				}
+			}
+		}
+		if ok >= ranks {
+			t.Fatalf("timeline marks %d of %d ranks complete after cancellation", ok, ranks)
+		}
+		return
+	}
+	t.Skip("run completed before cancellation propagated on every attempt")
 }

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 // Pool metrics (internal/obs).  Accounting is per shard task, never per
@@ -81,6 +82,7 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 		workers = nshards
 	}
 	instr := obs.Enabled()
+	tl := timeline.Enabled()
 	if workers == 1 {
 		for s := 0; s < nshards; s++ {
 			if err := ctx.Err(); err != nil {
@@ -91,7 +93,14 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 				poolTasks.Inc()
 				poolPeak.Max(poolActive.Add(1))
 			}
+			var end timeline.Done
+			if tl {
+				end = timeline.Begin(timeline.CatShard, "exec.pool", s)
+			}
 			err := fn(ctx, s)
+			if end != nil {
+				end(err)
+			}
 			if instr {
 				poolActive.Add(-1)
 			}
@@ -132,7 +141,14 @@ func ShardedN(ctx context.Context, nshards, workers int, fn func(ctx context.Con
 					poolTasks.Inc()
 					poolPeak.Max(poolActive.Add(1))
 				}
+				var end timeline.Done
+				if tl {
+					end = timeline.Begin(timeline.CatShard, "exec.pool", s)
+				}
 				err := fn(wctx, s)
+				if end != nil {
+					end(err)
+				}
 				if instr {
 					poolActive.Add(-1)
 				}

@@ -6,6 +6,7 @@ import (
 
 	"kronbip/internal/exec"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 // Kron computes the Kronecker product C = A ⊗ B (the paper's Def. 4, the
@@ -46,6 +47,9 @@ func KronParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers
 		defer done()
 		mKronCalls.Inc()
 		mKronNNZ.Add(int64(nnz))
+	}
+	if timeline.Enabled() {
+		defer timeline.Begin(timeline.CatKernel, "grb.kron", 0)(nil)
 	}
 	rowPtr := make([]int, nr+1)
 	colIdx := make([]int, nnz)

@@ -7,6 +7,7 @@ import (
 
 	"kronbip/internal/exec"
 	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
 )
 
 // kernelPollStride bounds how many output rows a kernel worker may compute
@@ -103,6 +104,11 @@ func MxMParallelContext[T Number](ctx context.Context, a, b *Matrix[T], workers 
 		defer done()
 		mMxMCalls.Inc()
 		mMxMFlops.Add(mxmFlops(a, b))
+	}
+	if timeline.Enabled() {
+		// Kernel events are duration-only (always OK): errors surface on
+		// the caller's shard/rank event, not per kernel call.
+		defer timeline.Begin(timeline.CatKernel, "grb.mxm", 0)(nil)
 	}
 	if exec.Workers(workers, a.nr) <= 1 {
 		if err := ctx.Err(); err != nil {
@@ -207,6 +213,9 @@ func MxVParallelContext[T Number](ctx context.Context, a *Matrix[T], x []T, work
 		defer done()
 		mMxVCalls.Inc()
 		mMxVFlops.Add(int64(a.NNZ()))
+	}
+	if timeline.Enabled() {
+		defer timeline.Begin(timeline.CatKernel, "grb.mxv", 0)(nil)
 	}
 	y := make([]T, a.nr)
 	if a.nr == 0 {

@@ -37,7 +37,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a final JSON metrics snapshot to this file")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
-	fs.StringVar(&f.Trace, "trace", "", "write a runtime execution trace to this file")
+	fs.StringVar(&f.Trace, "trace", "", "write a Go runtime execution trace to this file (scheduler/GC detail for `go tool trace`; for an application-level shard/rank timeline see -timeline-out)")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
 	return f
 }

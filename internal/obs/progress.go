@@ -18,7 +18,9 @@ import (
 // run average, so stalls are visible immediately.  The Edges and
 // ShardsDone functions are sampled on each tick; baselines are recorded
 // at Start so a reporter wired to cumulative process-wide counters
-// reports per-run numbers.
+// reports per-run numbers.  Stopping the reporter always emits one final
+// line with the run's totals, so even runs shorter than one interval
+// leave a progress record.
 type Progress struct {
 	// Interval between report lines; <= 0 disables the reporter.
 	Interval time.Duration
@@ -63,31 +65,37 @@ func (p *Progress) Start() (stop func()) {
 		defer ticker.Stop()
 		start := time.Now()
 		lastT, lastEdges := start, int64(0)
+		report := func(now time.Time) {
+			edges := p.Edges() - baseEdges
+			dt := now.Sub(lastT).Seconds()
+			rate := 0.0
+			if dt > 0 {
+				rate = float64(edges-lastEdges) / dt
+			}
+			lastT, lastEdges = now, edges
+
+			line := fmt.Sprintf("progress elapsed=%s edges=%d edges_per_sec=%.0f",
+				now.Sub(start).Round(time.Millisecond), edges, rate)
+			if p.TotalEdges > 0 {
+				line += fmt.Sprintf(" pct=%.1f", 100*float64(edges)/float64(p.TotalEdges))
+			}
+			if p.ShardsDone != nil && p.TotalShards > 0 {
+				line += fmt.Sprintf(" shards=%d/%d", p.ShardsDone()-baseShards, p.TotalShards)
+			}
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			line += fmt.Sprintf(" heap_mb=%.1f\n", float64(ms.HeapAlloc)/(1<<20))
+			io.WriteString(out, line)
+		}
 		for {
 			select {
 			case <-done:
+				// Flush-on-exit: one final line with run totals, so a run
+				// that finishes inside the first tick still logs them.
+				report(time.Now())
 				return
 			case now := <-ticker.C:
-				edges := p.Edges() - baseEdges
-				dt := now.Sub(lastT).Seconds()
-				rate := 0.0
-				if dt > 0 {
-					rate = float64(edges-lastEdges) / dt
-				}
-				lastT, lastEdges = now, edges
-
-				line := fmt.Sprintf("progress elapsed=%s edges=%d edges_per_sec=%.0f",
-					now.Sub(start).Round(time.Millisecond), edges, rate)
-				if p.TotalEdges > 0 {
-					line += fmt.Sprintf(" pct=%.1f", 100*float64(edges)/float64(p.TotalEdges))
-				}
-				if p.ShardsDone != nil && p.TotalShards > 0 {
-					line += fmt.Sprintf(" shards=%d/%d", p.ShardsDone()-baseShards, p.TotalShards)
-				}
-				var ms runtime.MemStats
-				runtime.ReadMemStats(&ms)
-				line += fmt.Sprintf(" heap_mb=%.1f\n", float64(ms.HeapAlloc)/(1<<20))
-				io.WriteString(out, line)
+				report(now)
 			}
 		}
 	}()

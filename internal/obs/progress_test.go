@@ -76,6 +76,37 @@ func TestProgressReportsStructuredLines(t *testing.T) {
 	}
 }
 
+func TestProgressFlushOnExit(t *testing.T) {
+	r := NewRegistry()
+	edges := r.Counter("test.flush.edges")
+	shards := r.Counter("test.flush.shards")
+
+	out := &lockedBuffer{}
+	p := &Progress{
+		Interval:    time.Hour, // no tick will ever fire; only the flush reports
+		Out:         out,
+		Edges:       edges.Value,
+		TotalEdges:  500,
+		ShardsDone:  shards.Value,
+		TotalShards: 2,
+	}
+	stop := p.Start()
+	edges.Add(500)
+	shards.Add(2)
+	stop()
+
+	got := out.String()
+	re := regexp.MustCompile(`^progress elapsed=\S+ edges=500 edges_per_sec=\d+ pct=100\.0 shards=2/2 heap_mb=[\d.]+\n$`)
+	if !re.MatchString(got) {
+		t.Fatalf("flush-on-exit line %q does not carry the run totals", got)
+	}
+	// stop is idempotent: no second line.
+	stop()
+	if out.String() != got {
+		t.Fatal("second stop emitted another line")
+	}
+}
+
 func TestProgressDisabled(t *testing.T) {
 	// No interval, or no edges source: Start must return a no-op.
 	for _, p := range []*Progress{

@@ -1,0 +1,132 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"kronbip/internal/obs"
+)
+
+// GroupStats summarizes the durations of one event group (all events
+// sharing a cat and name — e.g. every "core.stream" shard of a run).
+// StragglerRatio is max/mean duration: 1.0 means perfectly balanced
+// units, 2.0 means the slowest unit ran twice the mean, i.e. the pool
+// tail-waited for roughly half that unit's runtime.
+type GroupStats struct {
+	Cat, Name      string
+	Count          int
+	Failed         int // events with OK == false
+	P50, P99, Max  time.Duration
+	Mean           time.Duration
+	StragglerRatio float64
+}
+
+// Group is the cat/name key, formatted as "cat/name".
+func (g GroupStats) Group() string { return g.Cat + "/" + g.Name }
+
+// Stats groups events by cat/name and computes per-group duration
+// percentiles and the straggler ratio, sorted by group key.  Groups
+// with a single event still report (ratio 1.0) so kernel-call and
+// stage groups show up alongside multi-shard pools.
+func Stats(events []Event) []GroupStats {
+	byKey := map[string][]Event{}
+	for _, ev := range events {
+		k := ev.Cat + "/" + ev.Name
+		byKey[k] = append(byKey[k], ev)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GroupStats, 0, len(keys))
+	for _, k := range keys {
+		evs := byKey[k]
+		durs := make([]time.Duration, len(evs))
+		var sum time.Duration
+		failed := 0
+		for i, ev := range evs {
+			durs[i] = ev.Dur
+			sum += ev.Dur
+			if !ev.OK {
+				failed++
+			}
+		}
+		sort.Slice(durs, func(a, b int) bool { return durs[a] < durs[b] })
+		g := GroupStats{
+			Cat: evs[0].Cat, Name: evs[0].Name,
+			Count: len(evs), Failed: failed,
+			P50:  percentile(durs, 0.50),
+			P99:  percentile(durs, 0.99),
+			Max:  durs[len(durs)-1],
+			Mean: sum / time.Duration(len(durs)),
+		}
+		if g.Mean > 0 {
+			g.StragglerRatio = float64(g.Max) / float64(g.Mean)
+		} else {
+			g.StragglerRatio = 1.0
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// percentile returns the p-quantile of sorted durations by
+// nearest-rank; p in [0,1].
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// PublishStats exports the per-group stats as gauges on reg (nil
+// selects obs.Default), under labeled names such as
+//
+//	timeline.dur_p50_us{group="shard/core.stream"}
+//	timeline.dur_p99_us{group="shard/core.stream"}
+//	timeline.dur_max_us{group="shard/core.stream"}
+//	timeline.straggler_permille{group="shard/core.stream"}
+//
+// plus unlabeled timeline.events and timeline.dropped totals, so the
+// imbalance summary rides the existing -metrics-out JSON and
+// Prometheus exposition.  The straggler ratio is published in permille
+// (1000 = balanced) because gauges are integral.
+func PublishStats(reg *obs.Registry, groups []GroupStats, events int, dropped uint64) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	for _, g := range groups {
+		reg.Gauge(obs.Labeled("timeline.dur_p50_us", "group", g.Group())).Set(g.P50.Microseconds())
+		reg.Gauge(obs.Labeled("timeline.dur_p99_us", "group", g.Group())).Set(g.P99.Microseconds())
+		reg.Gauge(obs.Labeled("timeline.dur_max_us", "group", g.Group())).Set(g.Max.Microseconds())
+		reg.Gauge(obs.Labeled("timeline.straggler_permille", "group", g.Group())).Set(int64(g.StragglerRatio * 1000))
+	}
+	reg.Gauge("timeline.events").Set(int64(events))
+	reg.Gauge("timeline.dropped").Set(int64(dropped))
+}
+
+// WriteSummary prints the end-of-run imbalance table, one line per
+// group:
+//
+//	timeline shard/core.stream: n=8 fail=0 p50=1.2ms p99=1.9ms max=1.9ms mean=1.3ms straggler=1.46x
+func WriteSummary(w io.Writer, groups []GroupStats) error {
+	for _, g := range groups {
+		_, err := fmt.Fprintf(w, "timeline %s: n=%d fail=%d p50=%s p99=%s max=%s mean=%s straggler=%.2fx\n",
+			g.Group(), g.Count, g.Failed,
+			round(g.P50), round(g.P99), round(g.Max), round(g.Mean), g.StragglerRatio)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round trims durations to 10µs for summary lines.
+func round(d time.Duration) time.Duration { return d.Round(10 * time.Microsecond) }
