@@ -5,17 +5,18 @@
 #   make bench      - streaming + engine benchmarks
 #   make bench-json - same benchmarks as a dated BENCH_<date>.json record
 #   make bench-check- compare the last two BENCH_<date>.json records
+#   make serve-smoke- end-to-end smoke test of the kronbip serve service
 #   make check      - everything (what CI should run)
 
 GO ?= go
 BENCH_DATE := $(shell date +%Y-%m-%d)
 
 # Packages with nontrivial concurrency: everything scheduled on the
-# internal/exec engine plus the engine itself and the obs registry the
-# instrumented paths hammer concurrently.
-RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit
+# internal/exec engine plus the engine itself, the obs registry the
+# instrumented paths hammer concurrently, and the serve job manager.
+RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit ./internal/serve
 
-.PHONY: all vet build test race bench bench-json bench-check check
+.PHONY: all vet build test race bench bench-json bench-check serve-smoke check
 
 all: vet build test
 
@@ -49,4 +50,10 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchcheck -dir .
 
-check: vet build test race
+# serve-smoke runs the full service acceptance flow against a live
+# server: submit → poll → stream, streamed count vs /v1/truth closed
+# form, 429 backpressure, metrics, and a clean SIGINT drain.
+serve-smoke:
+	scripts/serve_smoke.sh
+
+check: vet build test race serve-smoke

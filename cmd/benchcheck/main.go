@@ -12,7 +12,9 @@
 // records come from whatever machine ran `make bench-json`, so only
 // order-of-magnitude regressions — an accidental O(n²), a lost parallel
 // path — should fail the build, not scheduler noise.  With fewer than
-// two records there is nothing to compare and the command passes.
+// two records, a missing baseline file, or no overlapping benchmark
+// names there is nothing to compare and the command notes why and
+// passes.
 package main
 
 import (
@@ -47,6 +49,12 @@ func realMain(args []string, out io.Writer) int {
 	}
 	if old == "" {
 		fmt.Fprintln(out, "benchcheck: fewer than two BENCH_*.json records; nothing to compare")
+		return 0
+	}
+	// A missing baseline is not a failure: first run on a fresh checkout
+	// or CI cache has nothing to regress against.
+	if _, statErr := os.Stat(old); os.IsNotExist(statErr) {
+		fmt.Fprintf(out, "benchcheck: baseline %s missing; nothing to compare\n", old)
 		return 0
 	}
 	if err := compare(old, new_, *threshold, out); err != nil {
@@ -91,13 +99,14 @@ func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
 	}
 	sort.Strings(names)
 
-	regressed := 0
+	regressed, compared := 0, 0
 	for _, name := range names {
 		nw, ok := newNs[name]
 		if !ok {
 			fmt.Fprintf(out, "benchcheck %s: removed (was %.0f ns/op)\n", name, oldNs[name])
 			continue
 		}
+		compared++
 		ratio := nw / oldNs[name]
 		verdict := "ok"
 		if ratio > threshold {
@@ -116,8 +125,15 @@ func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx (%s vs %s)",
 			regressed, threshold, filepath.Base(oldPath), filepath.Base(newPath))
 	}
+	// Disjoint benchmark sets (a rename sweep, a record from a different
+	// package list) leave nothing comparable — note it and pass.
+	if compared == 0 {
+		fmt.Fprintf(out, "benchcheck: no overlapping benchmarks between %s and %s; nothing to compare\n",
+			filepath.Base(oldPath), filepath.Base(newPath))
+		return nil
+	}
 	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within %.1fx of %s\n",
-		len(names), threshold, filepath.Base(oldPath))
+		compared, threshold, filepath.Base(oldPath))
 	return nil
 }
 
@@ -157,8 +173,7 @@ func parseRecord(path string) (map[string]float64, error) {
 		}
 		ns[m[1]] = v
 	}
-	if len(ns) == 0 {
-		return nil, fmt.Errorf("%s: no benchmark results found", path)
-	}
+	// An empty result set is legal (a record from a run whose benchmarks
+	// were all filtered out); compare reports the no-overlap note.
 	return ns, nil
 }

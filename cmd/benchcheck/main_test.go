@@ -106,6 +106,45 @@ func TestCompareFewerThanTwoRecordsPasses(t *testing.T) {
 	}
 }
 
+func TestMissingBaselinePasses(t *testing.T) {
+	dir := t.TempDir()
+	new_ := record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkA", "1000"}})
+	var out bytes.Buffer
+	code := realMain([]string{filepath.Join(dir, "BENCH_2026-01-01.json"), new_}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d with missing baseline:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "nothing to compare") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestNoOverlapPasses(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkOld", "1000"}})
+	record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkNew", "1000"}})
+	var out bytes.Buffer
+	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
+		t.Fatalf("exit %d with disjoint benchmark sets:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no overlapping benchmarks") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
+func TestEmptyRecordPasses(t *testing.T) {
+	dir := t.TempDir()
+	record(t, dir, "BENCH_2026-01-01.json", nil)
+	record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkA", "1000"}})
+	var out bytes.Buffer
+	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
+		t.Fatalf("exit %d with an empty baseline record:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no overlapping benchmarks") {
+		t.Fatalf("output %q", out.String())
+	}
+}
+
 func TestPicksLexicallyLastTwo(t *testing.T) {
 	dir := t.TempDir()
 	record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkA", "1"}})

@@ -19,6 +19,17 @@
 //	    Materialize the product and cross-check sampled ground truth against
 //	    brute-force counting (exit 1 on mismatch).
 //
+//	kronbip serve     -addr 127.0.0.1:8080
+//	    Run the long-lived generation & ground-truth HTTP service
+//	    (internal/serve): job submission with admission control, sync
+//	    /v1/truth and /v1/stats from factor closed forms, NDJSON/TSV edge
+//	    streaming, /metrics.  SIGINT drains running jobs and exits 0.
+//
+//	kronbip version
+//	    Print the build identity (module version, go version, VCS revision)
+//	    from debug.ReadBuildInfo — the same identity serve reports in its
+//	    Server header and /healthz payload.
+//
 // Factors (-factor): unicode, crown<N>, biclique<NU>x<NW>, cycle<N>,
 // path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES> (bipartite
 // scale-free).  -mode selects selfloop ((A+I)⊗A-style, default) or
@@ -52,10 +63,9 @@ import (
 	"kronbip/internal/core"
 	"kronbip/internal/count"
 	"kronbip/internal/exec"
-	"kronbip/internal/gen"
-	"kronbip/internal/graph"
 	"kronbip/internal/obs"
 	"kronbip/internal/obs/timeline"
+	"kronbip/internal/spec"
 )
 
 func main() {
@@ -80,6 +90,10 @@ func main() {
 		err = cmdTruth(ctx, args)
 	case "verify":
 		err = cmdVerify(ctx, args)
+	case "serve":
+		err = cmdServe(ctx, args)
+	case "version", "-version", "--version":
+		fmt.Printf("kronbip %s\n", cli.Build())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -93,96 +107,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kronbip <generate|stats|truth|verify> [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: kronbip <generate|stats|truth|verify|serve|version> [flags]  (run a subcommand with -h for its flags)")
 }
 
-// parseFactor resolves a -factor spec into a bipartite factor graph.
-func parseFactor(spec string, seed int64) (*graph.Bipartite, error) {
-	num := func(s string) (int, error) { return strconv.Atoi(s) }
-	switch {
-	case spec == "unicode":
-		return gen.UnicodeLike(seed), nil
-	case strings.HasPrefix(spec, "crown"):
-		n, err := num(spec[len("crown"):])
-		if err != nil || n < 3 {
-			return nil, fmt.Errorf("bad crown spec %q (want crown<N>, N>=3)", spec)
-		}
-		return gen.Crown(n), nil
-	case strings.HasPrefix(spec, "biclique"):
-		parts := strings.Split(spec[len("biclique"):], "x")
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("bad biclique spec %q (want biclique<NU>x<NW>)", spec)
-		}
-		nu, err1 := num(parts[0])
-		nw, err2 := num(parts[1])
-		if err1 != nil || err2 != nil || nu < 1 || nw < 1 {
-			return nil, fmt.Errorf("bad biclique spec %q", spec)
-		}
-		return gen.CompleteBipartite(nu, nw), nil
-	case strings.HasPrefix(spec, "sf"):
-		parts := strings.Split(spec[len("sf"):], "x")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("bad scale-free spec %q (want sf<NU>x<NW>x<EDGES>)", spec)
-		}
-		nu, err1 := num(parts[0])
-		nw, err2 := num(parts[1])
-		m, err3 := num(parts[2])
-		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("bad scale-free spec %q", spec)
-		}
-		return gen.ConnectedBipartiteScaleFree(nu, nw, m, seed), nil
-	case strings.HasPrefix(spec, "cycle"):
-		n, err := num(spec[len("cycle"):])
-		if err != nil || n < 4 || n%2 != 0 {
-			return nil, fmt.Errorf("bad cycle spec %q (need even N >= 4 for a bipartite cycle)", spec)
-		}
-		return graph.AsBipartite(gen.Cycle(n))
-	case strings.HasPrefix(spec, "path"):
-		n, err := num(spec[len("path"):])
-		if err != nil || n < 2 {
-			return nil, fmt.Errorf("bad path spec %q", spec)
-		}
-		return graph.AsBipartite(gen.Path(n))
-	case strings.HasPrefix(spec, "star"):
-		n, err := num(spec[len("star"):])
-		if err != nil || n < 2 {
-			return nil, fmt.Errorf("bad star spec %q", spec)
-		}
-		return graph.AsBipartite(gen.Star(n))
-	case strings.HasPrefix(spec, "hypercube"):
-		d, err := num(spec[len("hypercube"):])
-		if err != nil || d < 1 || d > 16 {
-			return nil, fmt.Errorf("bad hypercube spec %q", spec)
-		}
-		return graph.AsBipartite(gen.Hypercube(d))
-	default:
-		return nil, fmt.Errorf("unknown factor %q", spec)
-	}
-}
-
-// buildProduct assembles the product for the chosen mode, preferring the
-// strict constructor (which certifies Thm. 1/2 connectivity and unlocks
-// the distance ground truth) and falling back to the relaxed one for
-// disconnected factors like the unicode network.
+// buildProduct assembles the product named by a (-factor, -mode, -seed)
+// flag triple through the shared spec vocabulary, so the CLI and the
+// serve request decoder resolve specs identically.
 func buildProduct(factorSpec, mode string, seed int64) (*core.Product, error) {
-	b, err := parseFactor(factorSpec, seed)
-	if err != nil {
-		return nil, err
-	}
-	var a *graph.Graph
-	var m core.Mode
-	switch mode {
-	case "selfloop":
-		a, m = b.Graph, core.ModeSelfLoopFactor
-	case "nonbip":
-		a, m = gen.Cycle(5), core.ModeNonBipartiteFactor
-	default:
-		return nil, fmt.Errorf("unknown mode %q (want selfloop or nonbip)", mode)
-	}
-	if p, err := core.NewWithParts(a, b, m); err == nil {
-		return p, nil
-	}
-	return core.NewRelaxedWithParts(a, b, m)
+	return spec.Spec{Factor: factorSpec, Mode: mode, Seed: seed}.Build()
 }
 
 func cmdGenerate(ctx context.Context, args []string) error {

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"time"
+
+	"kronbip/internal/cli"
+	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
+	"kronbip/internal/serve"
+)
+
+// cmdServe runs the long-lived generation & ground-truth HTTP service.
+// It serves until the signal context is cancelled (SIGINT/SIGTERM),
+// then drains: running jobs finish, in-flight responses complete, and a
+// clean drain exits 0.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; ':0' picks a free port)")
+	workers := fs.Int("workers", 0, "generation jobs run concurrently (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 16, "jobs accepted beyond the running set before submissions get 429")
+	maxEdges := fs.Int64("max-edges", serve.DefaultMaxEdges, "per-job closed-form |E_C| budget; bigger specs get 413 (negative = unlimited)")
+	jobTimeout := fs.Duration("job-timeout", 10*time.Minute, "per-job generation deadline (negative = none)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "sync endpoint (truth/stats/submit) timeout")
+	retryAfter := fs.Duration("retry-after", time.Second, "backoff hint sent with 429 responses")
+	retention := fs.Int("retention", 64, "finished jobs kept pollable before eviction")
+	cacheSize := fs.Int("cache", 128, "factor-spec product cache capacity (LRU)")
+	shards := fs.Int("shards", 0, "per-job generation shards (0 = GOMAXPROCS)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: running jobs and open responses get this long to finish")
+	auditOn := fs.Bool("audit", false, "run the online ground-truth auditor inside every job by default")
+	auditSample := fs.Int("audit-sample", 0, "auditor edge-membership sampling stride (0 = default 1024)")
+	obsFlags := obs.RegisterFlags(fs)
+	tlFlags := timeline.RegisterFlags(fs)
+	verb := cli.RegisterVerbosity(fs)
+	fs.Parse(args)
+
+	// A service is never a black box: instrumentation is on for the
+	// whole process lifetime regardless of the obs flags, so /metrics
+	// and /metrics.json always have live data.
+	obs.SetEnabled(true)
+	stopObs, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	stopTL, err := tlFlags.Start(nil)
+	if err != nil {
+		stopObs()
+		return err
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		MaxEdges:       *maxEdges,
+		JobTimeout:     *jobTimeout,
+		RequestTimeout: *reqTimeout,
+		RetryAfter:     *retryAfter,
+		Retention:      *retention,
+		CacheSize:      *cacheSize,
+		Shards:         *shards,
+		Audit:          *auditOn,
+		AuditSample:    *auditSample,
+	})
+	if err := srv.Listen(*addr); err != nil {
+		stopTL()
+		stopObs()
+		return err
+	}
+	// The "listening on" line is load-bearing: the smoke harness and
+	// other scripted drivers scrape the bound address from it (':0'
+	// binds an ephemeral port).
+	verb.Summaryf("serve: kronbip %s listening on http://%s\n", cli.Build(), srv.Addr())
+
+	srvErr := srv.Serve(ctx, *drain)
+	verb.Summaryf("serve: drained and stopped\n")
+	// obs.SetEnabled stays flipped by stopObs/stopTL only if flags were
+	// set; flip it off explicitly for symmetry.
+	if err := stopTL(); err != nil && srvErr == nil {
+		srvErr = err
+	}
+	if err := stopObs(); err != nil && srvErr == nil {
+		srvErr = err
+	}
+	obs.SetEnabled(false)
+	return srvErr
+}

@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the main module's version as
+// stamped by the Go toolchain, the Go release it was built with, and
+// the VCS revision when the build embedded one.  Both binaries print it
+// from `version`/-version, and the serve layer reports it in its Server
+// header and /healthz payload so a fleet's deployed versions are
+// observable.
+type BuildInfo struct {
+	Version  string // main module version; "(devel)" for in-tree builds
+	Go       string // runtime.Version(), e.g. "go1.22.0"
+	Revision string // VCS revision, empty when not stamped
+	Dirty    bool   // VCS working tree had local modifications
+}
+
+// Build reads the binary's build information.  It never fails: fields
+// the toolchain did not stamp are left at their zero values, with
+// Version falling back to "unknown".
+func Build() BuildInfo {
+	b := BuildInfo{Version: "unknown", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if bi.Main.Version != "" {
+		b.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the build info on one line, e.g.
+// "(devel) go1.22.0 rev=1a2b3c4d5e6f-dirty".
+func (b BuildInfo) String() string {
+	s := b.Version + " " + b.Go
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev=" + rev
+		if b.Dirty {
+			s += "-dirty"
+		}
+	}
+	return s
+}
+
+// ServerToken renders the info as an HTTP Server-header product token,
+// e.g. "kronbip/(devel)".
+func (b BuildInfo) ServerToken() string { return "kronbip/" + b.Version }

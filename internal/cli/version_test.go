@@ -1,0 +1,43 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildNeverEmpty(t *testing.T) {
+	b := Build()
+	if b.Version == "" {
+		t.Error("Version is empty")
+	}
+	if !strings.HasPrefix(b.Go, "go") {
+		t.Errorf("Go = %q, want a go release string", b.Go)
+	}
+}
+
+func TestBuildInfoString(t *testing.T) {
+	b := BuildInfo{Version: "v1.2.3", Go: "go1.22.0"}
+	if got := b.String(); got != "v1.2.3 go1.22.0" {
+		t.Errorf("String() = %q", got)
+	}
+	b.Revision = "0123456789abcdef0123"
+	b.Dirty = true
+	if got := b.String(); got != "v1.2.3 go1.22.0 rev=0123456789ab-dirty" {
+		t.Errorf("String() with rev = %q", got)
+	}
+	if got := b.ServerToken(); got != "kronbip/v1.2.3" {
+		t.Errorf("ServerToken() = %q", got)
+	}
+}
+
+// The live String must parse as "<version> <goversion>[ rev=...]" so
+// log scrapers and the smoke script can rely on the shape.
+func TestLiveStringShape(t *testing.T) {
+	fields := strings.Fields(Build().String())
+	if len(fields) < 2 {
+		t.Fatalf("String() = %q, want at least two fields", Build().String())
+	}
+	if !strings.HasPrefix(fields[1], "go") {
+		t.Errorf("second field %q is not a go version", fields[1])
+	}
+}

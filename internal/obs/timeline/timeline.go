@@ -47,6 +47,7 @@ const (
 	CatKernel = "kernel" // grb kernel calls (mxm, mxv, kron)
 	CatStage  = "stage"  // experiment stages
 	CatAudit  = "audit"  // audit invariant checks
+	CatJob    = "job"    // serve-layer generation jobs (lane = job sequence number)
 )
 
 // Event is one completed unit of work.  Events are recorded at end time

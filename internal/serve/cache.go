@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"kronbip/internal/core"
+	"kronbip/internal/spec"
+)
+
+// productCache is an LRU of built products keyed by canonical factor
+// spec.  A Product is exactly the paper's O(|E_C|^(1/2)) resident state
+// — two tiny factors plus derived degree/two-walk vectors — so caching
+// a few hundred of them is megabytes, yet a hit turns every /v1/truth
+// and /v1/stats answer (and the admission-control edge estimate) into
+// pure arithmetic with no factor construction.
+//
+// Products are immutable after construction apart from the internally
+// synchronized lazy distance index, so one cached *core.Product is safe
+// to share across concurrent requests and jobs.
+type productCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; values are *cacheEntry
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	p   *core.Product
+}
+
+func newProductCache(capacity int) *productCache {
+	if capacity <= 0 {
+		capacity = 128
+	}
+	return &productCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the product for sp, building and inserting it on a miss.
+// The build runs outside the lock so a slow factor construction never
+// blocks hits for other specs; two racing misses on the same key both
+// build and the later insert wins, which is harmless because builds are
+// deterministic.
+func (c *productCache) get(sp spec.Spec) (*core.Product, error) {
+	key := sp.Canonical()
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		mCacheHits.Inc()
+		return el.Value.(*cacheEntry).p, nil
+	}
+	c.mu.Unlock()
+	mCacheMisses.Inc()
+
+	p, err := sp.Build()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok { // racing miss inserted first
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).p, nil
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, p: p})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+	gCacheSize.Set(int64(c.ll.Len()))
+	return p, nil
+}
+
+// len reports the resident entry count (tests).
+func (c *productCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

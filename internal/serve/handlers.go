@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"kronbip/internal/cli"
+	"kronbip/internal/graph"
+	"kronbip/internal/obs"
+	"kronbip/internal/spec"
+)
+
+// routes assembles the endpoint mux (middleware is layered on by New).
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/truth", s.handleTruth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleJobEdges)
+	mux.Handle("GET /metrics", obs.Default.MetricsHandler())
+	mux.Handle("GET /metrics.json", obs.Default.JSONHandler())
+	return mux
+}
+
+// writeJSON renders v with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// specFromQuery decodes the shared ?factor=&mode=&seed= triple through
+// the same spec vocabulary the CLI flags resolve through.
+func specFromQuery(q url.Values) (spec.Spec, error) {
+	sp := spec.Spec{Factor: q.Get("factor"), Mode: q.Get("mode"), Seed: spec.DefaultSeed}
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return spec.Spec{}, fmt.Errorf("bad seed %q", v)
+		}
+		sp.Seed = seed
+	}
+	return sp.WithDefaults(), nil
+}
+
+// syncContext bounds a sync (non-streaming) handler by the configured
+// request timeout.
+func (s *Server) syncContext(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.mgr.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"version":        cli.Build(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"jobs": map[string]int{
+			"queued":  queued,
+			"running": running,
+		},
+	})
+}
+
+// statsResponse is the /v1/stats payload: the Table I shape, answered
+// entirely from factor closed forms.
+type statsResponse struct {
+	Spec             string `json:"spec"`
+	Mode             string `json:"mode"`
+	FactorA          factorStats `json:"factor_a"`
+	FactorB          factorStats `json:"factor_b"`
+	N                int    `json:"n"`
+	NU               int    `json:"n_u"`
+	NW               int    `json:"n_w"`
+	NumEdges         int64  `json:"num_edges"`
+	GlobalFourCycles int64  `json:"global_four_cycles"`
+	Connected        bool   `json:"connected_by_theorem"`
+}
+
+type factorStats struct {
+	N          int   `json:"n"`
+	Edges      int   `json:"edges"`
+	FourCycles int64 `json:"four_cycles"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.syncContext(r)
+	defer cancel()
+	sp, err := specFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := s.cache.get(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	fa, fb := p.FactorA(), p.FactorB()
+	nu, nw := p.PartSizes()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Spec:             sp.Canonical(),
+		Mode:             p.Mode().String(),
+		FactorA:          factorStats{N: fa.N(), Edges: fa.G.NumEdges(), FourCycles: fa.Global4},
+		FactorB:          factorStats{N: fb.N(), Edges: fb.G.NumEdges(), FourCycles: fb.Global4},
+		N:                p.N(),
+		NU:               nu,
+		NW:               nw,
+		NumEdges:         p.NumEdges(),
+		GlobalFourCycles: p.GlobalFourCycles(),
+		Connected:        p.ConnectedByTheorem(),
+	})
+}
+
+// truthResponse is the /v1/truth payload: global plus optional vertex
+// and edge point queries, all O(1) against factor state.
+type truthResponse struct {
+	Spec             string       `json:"spec"`
+	N                int          `json:"n"`
+	NumEdges         int64        `json:"num_edges"`
+	GlobalFourCycles int64        `json:"global_four_cycles"`
+	Vertex           *vertexTruth `json:"vertex,omitempty"`
+	Edge             *edgeTruth   `json:"edge,omitempty"`
+}
+
+type vertexTruth struct {
+	Vertex     int    `json:"vertex"`
+	FactorA    int    `json:"factor_a"`
+	FactorB    int    `json:"factor_b"`
+	Degree     int64  `json:"degree"`
+	TwoWalks   int64  `json:"two_walks"`
+	FourCycles int64  `json:"four_cycles"`
+	Side       string `json:"side"`
+}
+
+type edgeTruth struct {
+	V          int     `json:"v"`
+	W          int     `json:"w"`
+	FourCycles int64   `json:"four_cycles"`
+	Clustering float64 `json:"clustering"`
+}
+
+func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
+	_, cancel := s.syncContext(r)
+	defer cancel()
+	q := r.URL.Query()
+	sp, err := specFromQuery(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := s.cache.get(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := truthResponse{
+		Spec:             sp.Canonical(),
+		N:                p.N(),
+		NumEdges:         p.NumEdges(),
+		GlobalFourCycles: p.GlobalFourCycles(),
+	}
+	if v := q.Get("vertex"); v != "" {
+		vi, err := strconv.Atoi(v)
+		if err != nil || vi < 0 || vi >= p.N() {
+			writeError(w, http.StatusBadRequest, "bad vertex %q (want [0,%d))", v, p.N())
+			return
+		}
+		i, k := p.PairOf(vi)
+		side := "U"
+		if p.SideOf(vi) == graph.SideW {
+			side = "W"
+		}
+		resp.Vertex = &vertexTruth{
+			Vertex:     vi,
+			FactorA:    i,
+			FactorB:    k,
+			Degree:     p.DegreeAt(vi),
+			TwoWalks:   p.TwoWalksAt(vi),
+			FourCycles: p.VertexFourCyclesAt(vi),
+			Side:       side,
+		}
+	}
+	if e := q.Get("edge"); e != "" {
+		sv, sw, ok := strings.Cut(e, ",")
+		if !ok {
+			writeError(w, http.StatusBadRequest, "bad edge %q (want 'v,w')", e)
+			return
+		}
+		v, err1 := strconv.Atoi(sv)
+		wv, err2 := strconv.Atoi(sw)
+		if err1 != nil || err2 != nil {
+			writeError(w, http.StatusBadRequest, "bad edge %q", e)
+			return
+		}
+		sq, err := p.EdgeFourCyclesAt(v, wv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		gamma, err := p.EdgeClusteringAt(v, wv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Edge = &edgeTruth{V: v, W: wv, FourCycles: sq, Clustering: gamma}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// submitRequest is the POST /v1/jobs body; every field is optional.
+type submitRequest struct {
+	Factor string `json:"factor"`
+	Mode   string `json:"mode"`
+	Seed   *int64 `json:"seed"`
+	Audit  *bool  `json:"audit"` // overrides the server-level default
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	_, cancel := s.syncContext(r)
+	defer cancel()
+	var req submitRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	}
+	sp := spec.Spec{Factor: req.Factor, Mode: req.Mode, Seed: spec.DefaultSeed}
+	if req.Seed != nil {
+		sp.Seed = *req.Seed
+	}
+	sp = sp.WithDefaults()
+	p, err := s.cache.get(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	auditOn := s.cfg.Audit
+	if req.Audit != nil {
+		auditOn = *req.Audit
+	}
+	j, err := s.mgr.submit(sp, p, auditOn)
+	switch {
+	case errors.Is(err, ErrTooLarge):
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.mgr.list()})
+}
+
+func (s *Server) jobFromPath(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFromPath(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	s.mgr.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.Status())
+}

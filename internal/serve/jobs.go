@@ -1,0 +1,449 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kronbip/internal/audit"
+	"kronbip/internal/core"
+	"kronbip/internal/exec"
+	"kronbip/internal/obs/timeline"
+	"kronbip/internal/spec"
+)
+
+// Admission-control sentinels, mapped to HTTP statuses by the submit
+// handler.
+var (
+	// ErrSaturated: the queue is full — 429 with Retry-After.
+	ErrSaturated = errors.New("serve: job queue is full")
+	// ErrTooLarge: closed-form |E_C| exceeds the per-job budget — 413.
+	ErrTooLarge = errors.New("serve: spec exceeds the per-job edge budget")
+	// ErrDraining: the server is shutting down — 503.
+	ErrDraining = errors.New("serve: server is shutting down")
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState int32
+
+// Job lifecycle states.
+const (
+	StateQueued JobState = iota
+	StateRunning
+	StateDone
+	StateFailed
+	StateCancelled
+)
+
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+func (s JobState) terminal() bool { return s >= StateDone }
+
+// Job is one submitted generation run.  The product descriptor and the
+// identity fields are immutable after submission; the mutable lifecycle
+// fields are guarded by mu.
+type Job struct {
+	id      string
+	seq     int // numeric id, the job's timeline lane
+	spec    spec.Spec
+	product *core.Product
+	auditOn bool
+	// ctx is cancelled by DELETE, eviction or manager close — NOT by
+	// normal completion, so edge-stream requests for a finished job
+	// keep working until the job is evicted.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu              sync.Mutex
+	state           JobState
+	errMsg          string
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	edges           int64 // edges streamed by the generation run
+	auditChecks     int
+	auditViolations int
+	done            chan struct{} // closed on entering a terminal state
+}
+
+// JobStatus is the wire rendering of a job.
+type JobStatus struct {
+	ID               string  `json:"id"`
+	Spec             string  `json:"spec"`
+	State            string  `json:"state"`
+	Error            string  `json:"error,omitempty"`
+	NumEdges         int64   `json:"num_edges"` // closed-form |E_C|
+	EdgesStreamed    int64   `json:"edges_streamed"`
+	GlobalFourCycles int64   `json:"global_four_cycles"`
+	Audit            bool    `json:"audit"`
+	AuditChecks      int     `json:"audit_checks,omitempty"`
+	AuditViolations  int     `json:"audit_violations,omitempty"`
+	Created          string  `json:"created"`
+	RunSeconds       float64 `json:"run_seconds,omitempty"`
+}
+
+// Status snapshots the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:               j.id,
+		Spec:             j.spec.Canonical(),
+		State:            j.state.String(),
+		Error:            j.errMsg,
+		NumEdges:         j.product.NumEdges(),
+		EdgesStreamed:    j.edges,
+		GlobalFourCycles: j.product.GlobalFourCycles(),
+		Audit:            j.auditOn,
+		AuditChecks:      j.auditChecks,
+		AuditViolations:  j.auditViolations,
+		Created:          j.created.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		st.RunSeconds = end.Sub(j.started).Seconds()
+	}
+	return st
+}
+
+// claim moves the job queued → running; false if it was cancelled while
+// waiting in the queue.
+func (j *Job) claim() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the run outcome and closes done.
+func (j *Job) finish(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		mJobsDone.Inc()
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.errMsg = "cancelled"
+		mJobsCancel.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		mJobsFailed.Inc()
+	}
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// cancelIfQueued retires a still-queued job without touching a running
+// one; used by DELETE and by shutdown's queued-job sweep.
+func (j *Job) cancelIfQueued() bool {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCancelled
+	j.errMsg = "cancelled"
+	j.finished = time.Now()
+	close(j.done)
+	j.mu.Unlock()
+	mJobsCancel.Inc()
+	j.cancel()
+	return true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// manager owns the job lifecycle: a bounded queue, a fixed worker pool,
+// the job index and the retention policy.
+type manager struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []*Job // submission order, scanned for retention eviction
+	nextID int
+	closed bool
+
+	// runHook, when non-nil, runs at the start of every job before
+	// generation — the test seam for making jobs slow or fail on demand.
+	runHook func(ctx context.Context, j *Job) error
+}
+
+func newManager(cfg Config) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+	}
+	m.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go m.worker()
+	}
+	return m
+}
+
+// submit admits a job or rejects it: ErrTooLarge when the closed-form
+// edge count busts the budget (checked from factor stats alone, before
+// any generation), ErrSaturated when the queue is full, ErrDraining
+// during shutdown.
+func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool) (*Job, error) {
+	if m.cfg.MaxEdges > 0 && p.NumEdges() > m.cfg.MaxEdges {
+		mRejected.Inc()
+		return nil, fmt.Errorf("%w: |E_C|=%d > budget %d", ErrTooLarge, p.NumEdges(), m.cfg.MaxEdges)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		mRejected.Inc()
+		return nil, ErrDraining
+	}
+	jctx, jcancel := context.WithCancel(m.baseCtx)
+	j := &Job{
+		id:      fmt.Sprintf("j%d", m.nextID+1),
+		seq:     m.nextID + 1,
+		spec:    sp,
+		product: p,
+		auditOn: auditOn,
+		ctx:     jctx,
+		cancel:  jcancel,
+		state:   StateQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	select {
+	case m.queue <- j:
+		m.nextID++
+		m.jobs[j.id] = j
+		m.order = append(m.order, j)
+		m.evictLocked()
+		gQueueDepth.Set(int64(len(m.queue)))
+		m.mu.Unlock()
+		mSubmitted.Inc()
+		return j, nil
+	default:
+		m.mu.Unlock()
+		jcancel()
+		mRejected.Inc()
+		return nil, ErrSaturated
+	}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap,
+// releasing their contexts.  Live (queued/running) jobs are never
+// evicted.  Caller holds m.mu.
+func (m *manager) evictLocked() {
+	for len(m.order) > m.cfg.Retention {
+		evicted := false
+		for i, j := range m.order {
+			j.mu.Lock()
+			terminal := j.state.terminal()
+			j.mu.Unlock()
+			if terminal {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				delete(m.jobs, j.id)
+				j.cancel()
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything retained is still live
+		}
+	}
+}
+
+// get looks a job up by id.
+func (m *manager) get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// list snapshots every retained job, newest first.
+func (m *manager) list() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*Job, len(m.order))
+	copy(jobs, m.order)
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for i := len(jobs) - 1; i >= 0; i-- {
+		out = append(out, jobs[i].Status())
+	}
+	return out
+}
+
+// cancelJob cancels a job wherever it is: queued jobs retire without
+// running, running jobs unwind through the exec engine's cancellation
+// contract, and any in-flight edge stream tied to the job aborts.
+func (m *manager) cancelJob(j *Job) {
+	if j.cancelIfQueued() {
+		return
+	}
+	j.cancel()
+}
+
+// counts reports (queued, running) for the health payload.
+func (m *manager) counts() (queued, running int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.order {
+		j.mu.Lock()
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+// drain stops admissions, cancels still-queued jobs and waits for the
+// running ones to finish; when ctx expires first, the remaining jobs
+// are cancelled hard and the ctx error returned.
+func (m *manager) drain(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	queued := make([]*Job, len(m.order))
+	copy(queued, m.order)
+	m.mu.Unlock()
+	for _, j := range queued {
+		j.cancelIfQueued()
+	}
+	done := make(chan struct{})
+	go func() { m.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-done
+		return fmt.Errorf("serve: drain timeout: %w", ctx.Err())
+	}
+}
+
+// close force-stops the manager; idempotent, used after drain and on
+// listener failure.
+func (m *manager) close() {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+	m.baseCancel()
+	m.wg.Wait()
+}
+
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		gQueueDepth.Set(int64(len(m.queue)))
+		m.run(j)
+	}
+}
+
+// run executes one job under its per-job context plus the configured
+// deadline, recording the outcome and a per-job timeline group.
+func (m *manager) run(j *Job) {
+	if !j.claim() {
+		return // cancelled while queued
+	}
+	gJobsRunning.Add(1)
+	defer gJobsRunning.Add(-1)
+	ctx := j.ctx
+	if m.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
+		defer cancel()
+	}
+	var end timeline.Done
+	if timeline.Enabled() {
+		end = timeline.Begin(timeline.CatJob, "serve.job", j.seq)
+	}
+	err := m.generate(ctx, j)
+	if end != nil {
+		end(err)
+	}
+	j.finish(err)
+}
+
+// generate performs the job's generation run on the exec engine: the
+// full sharded stream into a counting sink (and the online auditor when
+// requested).  The streamed count is the job's result — the edge list
+// itself is never stored; /v1/jobs/{id}/edges re-derives it on demand,
+// which is the paper's whole point.
+func (m *manager) generate(ctx context.Context, j *Job) error {
+	if m.runHook != nil {
+		if err := m.runHook(ctx, j); err != nil {
+			return err
+		}
+	}
+	p := j.product
+	var auditor *audit.Auditor
+	if j.auditOn {
+		auditor = audit.New(p, audit.Options{SampleEvery: m.cfg.AuditSample})
+	}
+	var cnt exec.CountingSink
+	err := p.StreamEdgesParallelContext(ctx, m.cfg.Shards, func(int) exec.Sink {
+		if auditor != nil {
+			return exec.MultiSink{&cnt, auditor.Stream().ForShard()}
+		}
+		return &cnt
+	})
+	j.mu.Lock()
+	j.edges = cnt.Count()
+	j.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if auditor != nil {
+		report := auditor.Finalize()
+		j.mu.Lock()
+		j.auditChecks = report.Checks
+		j.auditViolations = len(report.Violations)
+		j.mu.Unlock()
+		return report.Err()
+	}
+	return nil
+}

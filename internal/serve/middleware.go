@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"kronbip/internal/cli"
+)
+
+// statusWriter captures the response status for metrics while keeping
+// http.Flusher reachable for the streaming endpoint.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so edge streams can
+// flush-on-batch through the middleware wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withMiddleware wraps the route mux with the service-wide concerns:
+// request metrics, the version Server header, and panic recovery (a
+// handler panic answers 500 and keeps the server up instead of killing
+// the connection's goroutine with the process state unknown).
+func (s *Server) withMiddleware(h http.Handler) http.Handler {
+	serverToken := cli.Build().ServerToken()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mRequests.Inc()
+		w.Header().Set("Server", serverToken)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				mPanics.Inc()
+				mErrors.Inc()
+				fmt.Fprintf(os.Stderr, "serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "internal error")
+				}
+			} else if sw.code >= 500 {
+				mErrors.Inc()
+			}
+			hRequestSecs.Observe(time.Since(start).Seconds())
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}

@@ -1,0 +1,229 @@
+// Package serve exposes the generation pipeline as a long-running HTTP
+// service — the query shape the paper's ground truth is built for: all
+// of a product's global 4-cycle/degree/community statistics live in
+// O(|E_C|^(1/2)) factor state, so a tiny resident server can answer
+// global queries about astronomically large products and stream their
+// edge lists on demand without ever materializing them.
+//
+// The service has four layers:
+//
+//   - Job manager (jobs.go): a bounded submission queue feeding a fixed
+//     worker pool; each generation job runs on the internal/exec engine
+//     under its own cancellable context (DELETE /v1/jobs/{id} cancels),
+//     moves through queued → running → done/failed/cancelled, and a
+//     bounded set of recent results is retained for polling.
+//   - Admission control (jobs.go, middleware.go): a full queue answers
+//     429 with Retry-After; a spec whose closed-form |E_C| exceeds the
+//     per-job budget is rejected with 413 before any generation work;
+//     sync endpoints run under a request timeout; every handler sits
+//     behind panic recovery; shutdown drains running jobs first.
+//   - Sync ground truth (handlers.go): GET /v1/truth and /v1/stats
+//     answer from the factor closed forms alone, through an LRU cache
+//     keyed by canonical factor spec (cache.go) so repeated queries for
+//     popular factors skip factor construction entirely.
+//   - Streaming output (stream.go): GET /v1/jobs/{id}/edges re-streams
+//     the job's deterministic edge list as NDJSON or TSV with
+//     flush-on-batch, optionally auditing the stream online
+//     (internal/audit) and reporting the outcome in HTTP trailers.
+//
+// Everything is instrumented through internal/obs (request counters,
+// queue-depth/running gauges, cache hit/miss counters, per-job timeline
+// groups) and exported on /metrics and /metrics.json.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"kronbip/internal/obs"
+)
+
+// Service metrics, published on obs.Default.  Serve accounting is
+// per-request/per-job (never per edge), so unlike the generation hot
+// paths it does not gate on obs.Enabled — see DESIGN.md §6a.
+var (
+	mRequests     = obs.Default.Counter("serve.http.requests")
+	mErrors       = obs.Default.Counter("serve.http.errors") // 5xx responses
+	mPanics       = obs.Default.Counter("serve.http.panics")
+	hRequestSecs  = obs.Default.Histogram("serve.http.seconds")
+	mCacheHits    = obs.Default.Counter("serve.cache.hits")
+	mCacheMisses  = obs.Default.Counter("serve.cache.misses")
+	gCacheSize    = obs.Default.Gauge("serve.cache.size")
+	gQueueDepth   = obs.Default.Gauge("serve.jobs.queue_depth")
+	gJobsRunning  = obs.Default.Gauge("serve.jobs.running")
+	mSubmitted    = obs.Default.Counter("serve.jobs.submitted")
+	mRejected     = obs.Default.Counter("serve.jobs.rejected") // 429 + 413 + 503
+	mJobsDone     = obs.Default.Counter("serve.jobs.done")
+	mJobsFailed   = obs.Default.Counter("serve.jobs.failed")
+	mJobsCancel   = obs.Default.Counter("serve.jobs.cancelled")
+	mStreamEdges  = obs.Default.Counter("serve.stream.edges") // edges sent to clients, batched
+	mStreamAborts = obs.Default.Counter("serve.stream.aborts")
+)
+
+// DefaultMaxEdges is the default per-job closed-form edge budget: large
+// enough for every spec the experiment suite generates, small enough
+// that a runaway sf spec cannot park a worker for hours.
+const DefaultMaxEdges = int64(1) << 33
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of generation jobs run concurrently
+	// (default GOMAXPROCS).  This is the max-in-flight half of
+	// admission control.
+	Workers int
+	// QueueDepth is how many submitted jobs may wait beyond the running
+	// set before submissions are answered 429 (default 16).
+	QueueDepth int
+	// MaxEdges rejects any spec whose closed-form |E_C| exceeds it with
+	// 413, before generation starts (default DefaultMaxEdges; negative
+	// disables the budget).
+	MaxEdges int64
+	// JobTimeout bounds one job's generation run (default 10m; 0 keeps
+	// the default, negative disables).
+	JobTimeout time.Duration
+	// RequestTimeout bounds the sync endpoints — truth, stats, submit
+	// (default 30s).  Streaming responses are governed by the job
+	// context instead.
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint sent with 429 (default 1s).
+	RetryAfter time.Duration
+	// Retention is how many finished jobs stay pollable before the
+	// oldest are evicted (default 64).
+	Retention int
+	// CacheSize is the factor-spec product cache capacity (default 128).
+	CacheSize int
+	// Shards is the per-job generation parallelism (default GOMAXPROCS).
+	Shards int
+	// Audit runs the online ground-truth auditor inside every job
+	// (per-request "audit" fields override per job / per stream).
+	Audit bool
+	// AuditSample is the auditor's edge-membership sampling stride
+	// (0 = the audit package default).
+	AuditSample int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = DefaultMaxEdges
+	}
+	if c.JobTimeout == 0 {
+		c.JobTimeout = 10 * time.Minute
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Retention <= 0 {
+		c.Retention = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 128
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Server is one service instance: the HTTP surface plus its job manager
+// and product cache.  Construct with New, expose via Handler (tests) or
+// Listen+Serve (production), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	mgr     *manager
+	cache   *productCache
+	handler http.Handler
+	httpSrv *http.Server
+	ln      net.Listener
+	started time.Time
+}
+
+// New builds a Server from cfg.  The job manager's workers start
+// immediately; call Shutdown to release them.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		cache:   newProductCache(cfg.CacheSize),
+		mgr:     newManager(cfg),
+		started: time.Now(),
+	}
+	s.handler = s.withMiddleware(s.routes())
+	return s
+}
+
+// Handler returns the fully-assembled HTTP handler (middleware
+// included), for httptest-based exercising without a listener.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Listen binds the server to addr (":0" picks a free port; see Addr).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listen address; empty before Listen.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until ctx is cancelled (SIGINT in the CLI),
+// then shuts down gracefully within drainTimeout: submissions are
+// refused, running jobs drain to completion, in-flight HTTP responses
+// (including edge streams) finish, and the listener closes.  A clean
+// drain returns nil — the CLI maps that to exit 0 — and an overrun
+// drain returns the drain error.
+func (s *Server) Serve(ctx context.Context, drainTimeout time.Duration) error {
+	if s.ln == nil {
+		return errors.New("serve: Serve called before Listen")
+	}
+	s.httpSrv = &http.Server{Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- s.httpSrv.Serve(s.ln) }()
+	select {
+	case err := <-errc:
+		// Listener failure: force-stop the job manager, nothing to drain
+		// for.
+		s.mgr.close()
+		return err
+	case <-ctx.Done():
+	}
+	return s.Shutdown(drainTimeout)
+}
+
+// Shutdown drains the server: new submissions are refused (503), queued
+// jobs are cancelled, running jobs finish, then in-flight HTTP exchanges
+// complete — all bounded by drainTimeout, after which remaining work is
+// cancelled hard.  Safe to call without Serve (httptest usage).
+func (s *Server) Shutdown(drainTimeout time.Duration) error {
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := s.mgr.drain(dctx)
+	if s.httpSrv != nil {
+		if herr := s.httpSrv.Shutdown(dctx); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	s.mgr.close()
+	return err
+}

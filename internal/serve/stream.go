@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+
+	"kronbip/internal/audit"
+	"kronbip/internal/exec"
+)
+
+// Streaming output: GET /v1/jobs/{id}/edges re-derives the job's edge
+// list from the cached factor state — generation is deterministic, so
+// the server never spools edges to disk; the O(|E_C|^(1/2)) product
+// descriptor IS the stored result, and every stream request replays it.
+//
+// The response is chunked and flushed every streamFlushEdges edges so a
+// consumer sees steady progress on multi-minute streams; trailers carry
+// the completion status, the exact edge count and (with ?audit=1) the
+// online auditor's verdict, because none of those are known when the
+// header goes out.
+
+// streamFlushEdges is the flush-on-batch interval: large enough to
+// amortize the chunked-encoding and syscall cost, small enough that a
+// slow consumer sees progress every few hundred KB.
+const streamFlushEdges = 16384
+
+// Trailer names for the streaming endpoint.
+const (
+	TrailerStatus          = "X-Kronbip-Status" // "complete" or "aborted"
+	TrailerEdges           = "X-Kronbip-Edges"  // edges actually sent
+	TrailerAuditChecks     = "X-Kronbip-Audit-Checks"
+	TrailerAuditViolations = "X-Kronbip-Audit-Violations"
+)
+
+// streamSink writes edges in the chosen rendering through a buffered
+// writer, flushing the HTTP chunk every streamFlushEdges edges.  It is
+// used from a single goroutine (the stream runs one shard, because an
+// HTTP response is one ordered byte stream).
+type streamSink struct {
+	bw      *bufio.Writer
+	flusher http.Flusher
+	ndjson  bool
+	scratch []byte
+	n       int64 // edges written
+	batch   int64
+}
+
+func newStreamSink(w http.ResponseWriter, ndjson bool) *streamSink {
+	s := &streamSink{bw: bufio.NewWriterSize(w, 1<<16), ndjson: ndjson, scratch: make([]byte, 0, 64)}
+	if f, ok := w.(http.Flusher); ok {
+		s.flusher = f
+	}
+	return s
+}
+
+func (s *streamSink) Edge(v, w int) error {
+	b := s.scratch[:0]
+	if s.ndjson {
+		b = append(b, `{"v":`...)
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, `,"w":`...)
+		b = strconv.AppendInt(b, int64(w), 10)
+		b = append(b, '}', '\n')
+	} else {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, int64(w), 10)
+		b = append(b, '\n')
+	}
+	s.scratch = b
+	if _, err := s.bw.Write(b); err != nil {
+		return err
+	}
+	s.n++
+	s.batch++
+	if s.batch >= streamFlushEdges {
+		s.batch = 0
+		mStreamEdges.Add(streamFlushEdges)
+		if err := s.bw.Flush(); err != nil {
+			return err
+		}
+		if s.flusher != nil {
+			s.flusher.Flush()
+		}
+	}
+	return nil
+}
+
+func (s *streamSink) Flush() error {
+	mStreamEdges.Add(s.batch)
+	s.batch = 0
+	return s.bw.Flush()
+}
+
+func (s *Server) handleJobEdges(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	if j.ctx.Err() != nil {
+		writeError(w, http.StatusConflict, "job %s is cancelled", j.id)
+		return
+	}
+	q := r.URL.Query()
+	ndjson := true
+	switch q.Get("format") {
+	case "", "ndjson":
+	case "tsv":
+		ndjson = false
+	default:
+		writeError(w, http.StatusBadRequest, "bad format %q (want ndjson or tsv)", q.Get("format"))
+		return
+	}
+	auditOn := q.Get("audit") == "1" || q.Get("audit") == "true"
+
+	// The stream runs under the request context AND the job context:
+	// client disconnects and DELETE /v1/jobs/{id} both abort it
+	// mid-flight through the exec engine's cancellation contract.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(j.ctx, cancel)
+	defer stop()
+
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	}
+	w.Header().Set("Trailer", TrailerStatus+", "+TrailerEdges+", "+TrailerAuditChecks+", "+TrailerAuditViolations)
+	w.WriteHeader(http.StatusOK)
+
+	var auditor *audit.Auditor
+	out := newStreamSink(w, ndjson)
+	sink := exec.Sink(out)
+	if auditOn {
+		auditor = audit.New(j.product, audit.Options{SampleEvery: s.cfg.AuditSample})
+		sink = exec.MultiSink{out, auditor.Stream().ForShard()}
+	}
+	err := j.product.StreamEdgesParallelContext(ctx, 1, func(int) exec.Sink { return sink })
+	_ = out.Flush() // deliver the tail even on an aborted stream
+
+	status := "complete"
+	if err != nil {
+		status = "aborted"
+		mStreamAborts.Inc()
+	}
+	if auditor != nil && err == nil {
+		report := auditor.Finalize()
+		w.Header().Set(TrailerAuditChecks, strconv.Itoa(report.Checks))
+		w.Header().Set(TrailerAuditViolations, strconv.Itoa(len(report.Violations)))
+		if !report.OK() {
+			status = "audit-violation"
+		}
+	}
+	w.Header().Set(TrailerStatus, status)
+	w.Header().Set(TrailerEdges, strconv.FormatInt(out.n, 10))
+}

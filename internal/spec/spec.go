@@ -1,0 +1,192 @@
+// Package spec is the canonical product-specification vocabulary shared
+// by the command-line front ends and the HTTP service: a (factor, mode,
+// seed) triple that deterministically names one Kronecker product.  Both
+// the CLI flag surface and the serve request decoder resolve specs
+// through this package, so the two paths cannot drift, and the canonical
+// string form doubles as the factor-spec cache key in internal/serve.
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"kronbip/internal/core"
+	"kronbip/internal/gen"
+	"kronbip/internal/graph"
+)
+
+// Product construction modes, as spelled on the CLI and the wire.
+const (
+	ModeSelfLoop = "selfloop" // Assumption 1(ii): (A+I_A) ⊗ B with A = B
+	ModeNonBip   = "nonbip"   // Assumption 1(i): A ⊗ B with A a 5-cycle
+)
+
+// Defaults applied by WithDefaults (and by the serve decoder for absent
+// request fields).  They match the historical CLI flag defaults.
+const (
+	DefaultFactor = "unicode"
+	DefaultMode   = ModeSelfLoop
+	DefaultSeed   = int64(2020)
+)
+
+// Spec names one product: a bipartite factor spec, a construction mode
+// and the seed consumed by the randomized factors (unicode, sf).
+type Spec struct {
+	Factor string
+	Mode   string
+	Seed   int64
+}
+
+// WithDefaults fills empty Factor/Mode fields with the package defaults.
+// Seed is kept as-is (zero is a legitimate seed); callers that decode
+// from a wire format substitute DefaultSeed for an absent field.
+func (s Spec) WithDefaults() Spec {
+	if s.Factor == "" {
+		s.Factor = DefaultFactor
+	}
+	if s.Mode == "" {
+		s.Mode = DefaultMode
+	}
+	return s
+}
+
+// Canonical renders the spec (after defaulting) in its canonical string
+// form, e.g. "factor=crown4 mode=selfloop seed=2020".  Equal products
+// have equal canonical forms, so the string is a valid cache/dedupe key;
+// Parse inverts it.
+func (s Spec) Canonical() string {
+	s = s.WithDefaults()
+	return fmt.Sprintf("factor=%s mode=%s seed=%d", s.Factor, s.Mode, s.Seed)
+}
+
+// String returns the canonical form.
+func (s Spec) String() string { return s.Canonical() }
+
+// Parse inverts Canonical: it accepts space-separated key=value fields
+// in any order (absent fields take the defaults) and rejects unknown
+// keys, so Parse(s.Canonical()) round-trips every valid spec.
+func Parse(text string) (Spec, error) {
+	var s Spec
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(text) {
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("spec: bad field %q (want key=value)", field)
+		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("spec: duplicate field %q", key)
+		}
+		seen[key] = true
+		switch key {
+		case "factor":
+			s.Factor = value
+		case "mode":
+			s.Mode = value
+		case "seed":
+			seed, err := strconv.ParseInt(value, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("spec: bad seed %q", value)
+			}
+			s.Seed = seed
+		default:
+			return Spec{}, fmt.Errorf("spec: unknown field %q", key)
+		}
+	}
+	if !seen["seed"] {
+		s.Seed = DefaultSeed
+	}
+	return s.WithDefaults(), nil
+}
+
+// ParseFactor resolves a factor spec string into a bipartite factor
+// graph.  Recognized specs: unicode, crown<N>, biclique<NU>x<NW>,
+// cycle<N>, path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES>.
+func ParseFactor(factorSpec string, seed int64) (*graph.Bipartite, error) {
+	num := func(s string) (int, error) { return strconv.Atoi(s) }
+	switch {
+	case factorSpec == "unicode":
+		return gen.UnicodeLike(seed), nil
+	case strings.HasPrefix(factorSpec, "crown"):
+		n, err := num(factorSpec[len("crown"):])
+		if err != nil || n < 3 {
+			return nil, fmt.Errorf("bad crown spec %q (want crown<N>, N>=3)", factorSpec)
+		}
+		return gen.Crown(n), nil
+	case strings.HasPrefix(factorSpec, "biclique"):
+		parts := strings.Split(factorSpec[len("biclique"):], "x")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad biclique spec %q (want biclique<NU>x<NW>)", factorSpec)
+		}
+		nu, err1 := num(parts[0])
+		nw, err2 := num(parts[1])
+		if err1 != nil || err2 != nil || nu < 1 || nw < 1 {
+			return nil, fmt.Errorf("bad biclique spec %q", factorSpec)
+		}
+		return gen.CompleteBipartite(nu, nw), nil
+	case strings.HasPrefix(factorSpec, "sf"):
+		parts := strings.Split(factorSpec[len("sf"):], "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad scale-free spec %q (want sf<NU>x<NW>x<EDGES>)", factorSpec)
+		}
+		nu, err1 := num(parts[0])
+		nw, err2 := num(parts[1])
+		m, err3 := num(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad scale-free spec %q", factorSpec)
+		}
+		return gen.ConnectedBipartiteScaleFree(nu, nw, m, seed), nil
+	case strings.HasPrefix(factorSpec, "cycle"):
+		n, err := num(factorSpec[len("cycle"):])
+		if err != nil || n < 4 || n%2 != 0 {
+			return nil, fmt.Errorf("bad cycle spec %q (need even N >= 4 for a bipartite cycle)", factorSpec)
+		}
+		return graph.AsBipartite(gen.Cycle(n))
+	case strings.HasPrefix(factorSpec, "path"):
+		n, err := num(factorSpec[len("path"):])
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad path spec %q", factorSpec)
+		}
+		return graph.AsBipartite(gen.Path(n))
+	case strings.HasPrefix(factorSpec, "star"):
+		n, err := num(factorSpec[len("star"):])
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("bad star spec %q", factorSpec)
+		}
+		return graph.AsBipartite(gen.Star(n))
+	case strings.HasPrefix(factorSpec, "hypercube"):
+		d, err := num(factorSpec[len("hypercube"):])
+		if err != nil || d < 1 || d > 16 {
+			return nil, fmt.Errorf("bad hypercube spec %q", factorSpec)
+		}
+		return graph.AsBipartite(gen.Hypercube(d))
+	default:
+		return nil, fmt.Errorf("unknown factor %q", factorSpec)
+	}
+}
+
+// Build assembles the product the spec names, preferring the strict
+// constructor (which certifies Thm. 1/2 connectivity and unlocks the
+// distance ground truth) and falling back to the relaxed one for
+// disconnected factors like the unicode network.
+func (s Spec) Build() (*core.Product, error) {
+	s = s.WithDefaults()
+	b, err := ParseFactor(s.Factor, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var a *graph.Graph
+	var m core.Mode
+	switch s.Mode {
+	case ModeSelfLoop:
+		a, m = b.Graph, core.ModeSelfLoopFactor
+	case ModeNonBip:
+		a, m = gen.Cycle(5), core.ModeNonBipartiteFactor
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want %s or %s)", s.Mode, ModeSelfLoop, ModeNonBip)
+	}
+	if p, err := core.NewWithParts(a, b, m); err == nil {
+		return p, nil
+	}
+	return core.NewRelaxedWithParts(a, b, m)
+}

@@ -1,0 +1,156 @@
+package spec
+
+import (
+	"testing"
+
+	"kronbip/internal/core"
+)
+
+func TestParseFactorSpecs(t *testing.T) {
+	cases := []struct {
+		spec   string
+		nu, nw int
+		edges  int
+	}{
+		{"crown4", 4, 4, 12},
+		{"biclique3x5", 3, 5, 15},
+		{"cycle6", 3, 3, 6},
+		{"path5", 3, 2, 4},
+		{"star4", 1, 3, 3},
+		{"hypercube3", 4, 4, 12},
+		{"unicode", 254, 614, 1256},
+	}
+	for _, tc := range cases {
+		t.Run(tc.spec, func(t *testing.T) {
+			b, err := ParseFactor(tc.spec, 2020)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.NU() != tc.nu || b.NW() != tc.nw {
+				t.Fatalf("parts %d/%d, want %d/%d", b.NU(), b.NW(), tc.nu, tc.nw)
+			}
+			if b.NumEdges() != tc.edges {
+				t.Fatalf("edges = %d, want %d", b.NumEdges(), tc.edges)
+			}
+		})
+	}
+	// Scale-free spec shape.
+	sf, err := ParseFactor("sf20x30x50", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.NU() != 20 || sf.NW() != 30 {
+		t.Fatal("sf parts wrong")
+	}
+}
+
+func TestParseFactorErrors(t *testing.T) {
+	bad := []string{
+		"nope", "crown2", "crownx", "biclique3", "biclique3x", "bicliqueAxB",
+		"cycle5", "cycle3", "cyclex", "path1", "star1", "hypercube0",
+		"hypercube99", "sf3x4", "sfAxBxC",
+	}
+	for _, s := range bad {
+		if _, err := ParseFactor(s, 1); err == nil {
+			t.Fatalf("accepted bad spec %q", s)
+		}
+	}
+}
+
+func TestBuildModes(t *testing.T) {
+	p, err := Spec{Factor: "crown4", Mode: ModeSelfLoop, Seed: 1}.Build()
+	if err != nil {
+		t.Fatalf("Build selfloop: %v", err)
+	}
+	if p.Mode() != core.ModeSelfLoopFactor {
+		t.Errorf("mode = %v, want self-loop", p.Mode())
+	}
+	p, err = Spec{Factor: "crown4", Mode: ModeNonBip, Seed: 1}.Build()
+	if err != nil {
+		t.Fatalf("Build nonbip: %v", err)
+	}
+	if p.Mode() != core.ModeNonBipartiteFactor {
+		t.Errorf("mode = %v, want non-bipartite", p.Mode())
+	}
+	if _, err := (Spec{Factor: "crown4", Mode: "bogus", Seed: 1}).Build(); err == nil {
+		t.Error("bogus mode: want error")
+	}
+	if _, err := (Spec{Factor: "nope", Mode: ModeSelfLoop, Seed: 1}).Build(); err == nil {
+		t.Error("bogus factor: want error")
+	}
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Factor: "crown4"},
+		{Factor: "unicode", Mode: ModeSelfLoop, Seed: 2020},
+		{Factor: "sf20x30x50", Mode: ModeNonBip, Seed: -7},
+		{Factor: "biclique3x5", Mode: ModeSelfLoop, Seed: 0},
+	}
+	for _, s := range specs {
+		got, err := Parse(s.Canonical())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.Canonical(), err)
+		}
+		// Round-tripping is defined up to defaulting: the canonical
+		// form always spells out every field.
+		if got != s.WithDefaults() {
+			t.Errorf("Parse(Canonical(%+v)) = %+v, want %+v", s, got, s.WithDefaults())
+		}
+		if got.Canonical() != s.Canonical() {
+			t.Errorf("canonical not stable: %q vs %q", got.Canonical(), s.Canonical())
+		}
+	}
+}
+
+func TestParseDefaultsAndOrder(t *testing.T) {
+	got, err := Parse("seed=7 factor=crown4")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := Spec{Factor: "crown4", Mode: ModeSelfLoop, Seed: 7}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	got, err = Parse("")
+	if err != nil {
+		t.Fatalf("Parse(empty): %v", err)
+	}
+	if got != (Spec{Factor: DefaultFactor, Mode: DefaultMode, Seed: DefaultSeed}) {
+		t.Errorf("empty spec did not default: %+v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"factor", "factor=a factor=b", "seed=xyz", "color=blue"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q): want error", bad)
+		}
+	}
+}
+
+// TestCLIAndWireAgree is the anti-drift check the refactor exists for:
+// the same triple resolved through the canonical string (the serve
+// cache-key path) and directly (the CLI path) must name identical
+// products.
+func TestCLIAndWireAgree(t *testing.T) {
+	direct := Spec{Factor: "crown5", Mode: ModeSelfLoop, Seed: 11}
+	viaWire, err := Parse(direct.Canonical())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pd, err := direct.Build()
+	if err != nil {
+		t.Fatalf("Build(direct): %v", err)
+	}
+	pw, err := viaWire.Build()
+	if err != nil {
+		t.Fatalf("Build(wire): %v", err)
+	}
+	if pd.N() != pw.N() || pd.NumEdges() != pw.NumEdges() || pd.GlobalFourCycles() != pw.GlobalFourCycles() {
+		t.Errorf("products differ: (%d,%d,%d) vs (%d,%d,%d)",
+			pd.N(), pd.NumEdges(), pd.GlobalFourCycles(),
+			pw.N(), pw.NumEdges(), pw.GlobalFourCycles())
+	}
+}

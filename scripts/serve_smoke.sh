@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test for `kronbip serve`.
+#
+# Exercises the acceptance flow with nothing but curl and a shell:
+#   1. start the server on an ephemeral port (scraped from the
+#      load-bearing "listening on http://ADDR" stderr line)
+#   2. /healthz answers ok and carries the version Server header
+#   3. submit a small selfloop⊗selfloop job, poll it to done
+#   4. stream the edge list as TSV and verify the line count against
+#      the closed-form /v1/truth edge count for the same spec
+#   5. saturate the 1-worker/1-slot queue with big jobs and verify the
+#      next submission bounces with 429 + Retry-After
+#   6. /metrics exposes the serve counters (incl. a real cache hit)
+#   7. SIGINT drains and the process exits 0; -metrics-out is written
+#
+# Usage: scripts/serve_smoke.sh   (from anywhere inside the repo)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+srv_pid=
+cleanup() {
+  if [ -n "$srv_pid" ] && kill -0 "$srv_pid" 2>/dev/null; then
+    kill "$srv_pid" 2>/dev/null || true
+    wait "$srv_pid" 2>/dev/null || true
+  fi
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve-smoke: FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$tmp/serve.log" >&2 || true
+  exit 1
+}
+
+# jq-free field extraction from the server's indented JSON.
+jfield() { # jfield <name> — prints the value of "name": <value>
+  sed -n 's/.*"'"$1"'": *"\{0,1\}\([^",]*\)"\{0,1\}.*/\1/p' | head -1
+}
+
+echo "serve-smoke: building kronbip"
+go build -o "$tmp/kronbip" ./cmd/kronbip
+
+# 1. Start on an ephemeral port; 1 worker + 1 queue slot makes the
+# saturation check deterministic.
+"$tmp/kronbip" serve -addr 127.0.0.1:0 -workers 1 -queue 1 \
+  -metrics-out "$tmp/metrics.json" 2>"$tmp/serve.log" &
+srv_pid=$!
+
+addr=
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's#.*listening on http://\([^ ]*\).*#\1#p' "$tmp/serve.log" | head -1)
+  [ -n "$addr" ] && break
+  kill -0 "$srv_pid" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[ -n "$addr" ] || fail "server never reported its listen address"
+base="http://$addr"
+echo "serve-smoke: server up at $base"
+
+# 2. Health + version header.
+curl -fsS -D "$tmp/hz.hdr" "$base/healthz" >"$tmp/hz.json"
+grep -q '"status": "ok"' "$tmp/hz.json" || fail "/healthz not ok: $(cat "$tmp/hz.json")"
+grep -qi '^Server: kronbip/' "$tmp/hz.hdr" || fail "missing kronbip Server header"
+
+# 3. Submit a small selfloop⊗selfloop job and poll it to done.
+spec_factor=crown6 spec_seed=7
+curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"factor\":\"$spec_factor\",\"mode\":\"selfloop\",\"seed\":$spec_seed,\"audit\":true}" \
+  "$base/v1/jobs" >"$tmp/job.json"
+job_id=$(jfield id <"$tmp/job.json")
+[ -n "$job_id" ] || fail "submit returned no job id: $(cat "$tmp/job.json")"
+echo "serve-smoke: submitted $job_id"
+
+state=
+for _ in $(seq 1 100); do
+  curl -fsS "$base/v1/jobs/$job_id" >"$tmp/poll.json"
+  state=$(jfield state <"$tmp/poll.json")
+  [ "$state" = done ] && break
+  [ "$state" = failed ] && fail "job failed: $(cat "$tmp/poll.json")"
+  sleep 0.1
+done
+[ "$state" = done ] || fail "job never finished (state=$state)"
+
+# 4. Streamed edge count must equal the closed form — twice over: the
+# job status agrees with /v1/truth, and the actual TSV stream agrees
+# with both.
+curl -fsS "$base/v1/truth?factor=$spec_factor&mode=selfloop&seed=$spec_seed" >"$tmp/truth.json"
+want=$(jfield num_edges <"$tmp/truth.json")
+[ -n "$want" ] || fail "/v1/truth returned no num_edges"
+streamed=$(jfield edges_streamed <"$tmp/poll.json")
+[ "$streamed" = "$want" ] || fail "job streamed $streamed edges, truth says $want"
+got=$(curl -fsS "$base/v1/jobs/$job_id/edges?format=tsv" | wc -l | tr -d ' ')
+[ "$got" = "$want" ] || fail "edge stream has $got lines, truth says $want"
+echo "serve-smoke: $got streamed edges match closed-form |E_C|=$want"
+
+# 5. Saturation → 429 + Retry-After.  Two long jobs occupy the single
+# worker and the single queue slot; the probe must bounce.
+curl -fsS -X POST -d '{"factor":"sf500x500x20000","seed":1}' "$base/v1/jobs" >"$tmp/b1.json"
+curl -fsS -X POST -d '{"factor":"sf500x500x20000","seed":2}' "$base/v1/jobs" >"$tmp/b2.json"
+code=$(curl -s -o "$tmp/probe.json" -D "$tmp/probe.hdr" -w '%{http_code}' \
+  -X POST -d '{"factor":"crown4"}' "$base/v1/jobs")
+[ "$code" = 429 ] || fail "saturated submit answered $code, want 429"
+grep -qi '^Retry-After:' "$tmp/probe.hdr" || fail "429 without Retry-After"
+echo "serve-smoke: saturation answered 429 with Retry-After"
+for f in b1 b2; do
+  bid=$(jfield id <"$tmp/$f.json")
+  [ -n "$bid" ] && curl -fsS -X DELETE "$base/v1/jobs/$bid" >/dev/null
+done
+
+# 6. Serve metrics on /metrics, with a real cache hit first (the truth
+# spec above is re-queried, so it must be warm).
+curl -fsS "$base/v1/truth?factor=$spec_factor&mode=selfloop&seed=$spec_seed" >/dev/null
+curl -fsS "$base/metrics" >"$tmp/metrics.prom"
+for m in serve_http_requests serve_jobs_queue_depth serve_cache_hits; do
+  grep -q "$m" "$tmp/metrics.prom" || fail "/metrics missing $m"
+done
+hits=$(awk '$1 == "serve_cache_hits" {print $2}' "$tmp/metrics.prom")
+[ "${hits:-0}" -ge 1 ] || fail "no cache hit recorded after repeated /v1/truth (hits=$hits)"
+
+# 7. SIGINT drains and exits 0; the -metrics-out snapshot lands.
+kill -INT "$srv_pid"
+rc=0
+wait "$srv_pid" || rc=$?
+srv_pid=
+[ "$rc" = 0 ] || fail "server exited $rc after SIGINT"
+[ -s "$tmp/metrics.json" ] || fail "-metrics-out snapshot missing or empty"
+grep -q 'serve.http.requests' "$tmp/metrics.json" || fail "-metrics-out lacks serve metrics"
+
+echo "serve-smoke: PASS"
