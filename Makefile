@@ -9,7 +9,10 @@
 #   make check      - everything (what CI should run)
 
 GO ?= go
-BENCH_DATE := $(shell date +%Y-%m-%d)
+# Timestamped so multiple same-day records coexist; 'T' sorts after '.'
+# so a BENCH_<date>T<time>.json always follows a plain BENCH_<date>.json
+# baseline in benchcheck's lexical ordering.
+BENCH_DATE := $(shell date +%Y-%m-%dT%H%M%S)
 
 # Packages with nontrivial concurrency: everything scheduled on the
 # internal/exec engine plus the engine itself, the obs registry the
@@ -43,10 +46,11 @@ bench-json:
 	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
 
-# bench-check compares the two most recent records with a generous 2x
-# threshold: it catches lost parallelism or accidental quadratic blowups,
-# not machine-to-machine noise.  Passes trivially with fewer than two
-# records.
+# bench-check compares the two most recent records: 2x threshold for
+# engine microbenchmarks (catches lost parallelism or accidental
+# quadratic blowups, not machine-to-machine noise), but a tight 1.2x for
+# the BenchmarkStream_* family — a >20% slide in the edge-streaming hot
+# paths fails the build.  Passes trivially with fewer than two records.
 bench-check:
 	$(GO) run ./cmd/benchcheck -dir .
 

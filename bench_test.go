@@ -24,6 +24,7 @@ import (
 	"kronbip/internal/experiments"
 	"kronbip/internal/gen"
 	"kronbip/internal/grb"
+	"kronbip/internal/obs"
 	"kronbip/internal/rmat"
 	"kronbip/internal/wing"
 )
@@ -642,6 +643,107 @@ func BenchmarkStream_ShardedEngine(b *testing.B) {
 		}
 		if n != p.NumEdges() {
 			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// batchCounter is a Sink+BatchSink pair counting edges without
+// synchronization: the batch-capable analogue of the plain per-shard
+// counter closures above.
+type batchCounter struct{ n int64 }
+
+func (c *batchCounter) Edge(v, w int) error { c.n++; return nil }
+
+func (c *batchCounter) EdgeBatch(batch []exec.Edge) error {
+	c.n += int64(len(batch))
+	return nil
+}
+
+// BenchmarkStream_ShardedBatch is the tentpole number: the same sharded
+// stream as BenchmarkStream_ShardedEngine, but through BatchSink-capable
+// per-shard counters so the engine takes the batched hot loop (one
+// dispatch per exec.BatchLen edges instead of one per edge).  The
+// acceptance bar is beating BenchmarkStream_EachEdgeSerial.  At least
+// 2 shards even on one core: the win under measure is batch dispatch
+// amortization, which does not need OS parallelism to show.
+func BenchmarkStream_ShardedBatch(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	nshards := max(2, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counters := make([]batchCounter, nshards)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return &counters[s]
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for s := range counters {
+			n += counters[s].n
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_ShardedInstrumented is the obs-enabled variant of
+// BenchmarkStream_ShardedBatch: it guards the per-shard labeled counter
+// cache — shard counters are resolved once per stream from a lock-free
+// table, so enabling obs must cost atomics, not registry lookups.
+func BenchmarkStream_ShardedInstrumented(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	nshards := max(2, runtime.GOMAXPROCS(0))
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counters := make([]batchCounter, nshards)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return &counters[s]
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for s := range counters {
+			n += counters[s].n
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_BatchFanIn is the rewritten many-writers-one-consumer
+// shape: per-shard batch buffers handing whole pooled slices over a
+// channel to a single consumer goroutine, replacing the lock-per-drain
+// BufferedSink+LockedSink stack benchmarked below.
+func BenchmarkStream_BatchFanIn(b *testing.B) {
+	p := unicodeProduct(b)
+	ctx := context.Background()
+	nshards := max(2, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var total exec.CountingSink
+		f := exec.NewFanIn(&total, 0)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return f.ForShard()
+		})
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if total.Count() != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", total.Count(), p.NumEdges())
 		}
 	}
 	b.ReportMetric(float64(p.NumEdges()), "edges/op")

@@ -8,13 +8,16 @@
 //	benchcheck -threshold 1.5      # tighter regression bound
 //	benchcheck old.json new.json   # compare two explicit records
 //
-// The threshold is deliberately generous (2x by default): the dated
-// records come from whatever machine ran `make bench-json`, so only
-// order-of-magnitude regressions — an accidental O(n²), a lost parallel
-// path — should fail the build, not scheduler noise.  With fewer than
-// two records, a missing baseline file, or no overlapping benchmark
-// names there is nothing to compare and the command notes why and
-// passes.
+// The general threshold is deliberately generous (2x by default): the
+// dated records come from whatever machine ran `make bench-json`, so
+// only order-of-magnitude regressions — an accidental O(n²), a lost
+// parallel path — should fail the build, not scheduler noise.  The
+// BenchmarkStream_* family is held to a tighter bound (-stream-threshold,
+// 1.2x by default): those benchmarks stream millions of edges per op, so
+// their ns/op is stable enough that a >20% slide means the hot loop
+// actually regressed.  With fewer than two records, a missing baseline
+// file, or no overlapping benchmark names there is nothing to compare
+// and the command notes why and passes.
 package main
 
 import (
@@ -40,6 +43,7 @@ func realMain(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "directory holding BENCH_<date>.json records")
 	threshold := fs.Float64("threshold", 2.0, "fail when new ns/op exceeds old by this factor")
+	streamThreshold := fs.Float64("stream-threshold", 1.2, "tighter factor applied to BenchmarkStream_* results")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -57,10 +61,27 @@ func realMain(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "benchcheck: baseline %s missing; nothing to compare\n", old)
 		return 0
 	}
-	if err := compare(old, new_, *threshold, out); err != nil {
+	if err := compare(old, new_, thresholds{general: *threshold, stream: *streamThreshold}, out); err != nil {
 		return cli.Fail("benchcheck", err)
 	}
 	return 0
+}
+
+// thresholds carries the per-family regression bounds.  Stream
+// benchmarks (the BenchmarkStream_ prefix, including /subtest variants)
+// get the tight bound; everything else the generous one.
+type thresholds struct {
+	general float64
+	stream  float64
+}
+
+const streamPrefix = "BenchmarkStream_"
+
+func (t thresholds) for_(name string) float64 {
+	if strings.HasPrefix(name, streamPrefix) {
+		return t.stream
+	}
+	return t.general
 }
 
 // pickPair resolves the (old, new) record pair: two explicit paths, or
@@ -84,7 +105,7 @@ func pickPair(args []string, dir string) (old, new_ string, err error) {
 	}
 }
 
-func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
+func compare(oldPath, newPath string, th thresholds, out io.Writer) error {
 	oldNs, err := parseRecord(oldPath)
 	if err != nil {
 		return err
@@ -108,13 +129,14 @@ func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
 		}
 		compared++
 		ratio := nw / oldNs[name]
+		limit := th.for_(name)
 		verdict := "ok"
-		if ratio > threshold {
+		if ratio > limit {
 			verdict = "REGRESSED"
 			regressed++
 		}
-		fmt.Fprintf(out, "benchcheck %s: old=%.0f new=%.0f ratio=%.2f %s\n",
-			name, oldNs[name], nw, ratio, verdict)
+		fmt.Fprintf(out, "benchcheck %s: old=%.0f new=%.0f ratio=%.2f (limit %.1fx) %s\n",
+			name, oldNs[name], nw, ratio, limit, verdict)
 	}
 	for name := range newNs {
 		if _, ok := oldNs[name]; !ok {
@@ -122,8 +144,8 @@ func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
 		}
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond %.1fx (%s vs %s)",
-			regressed, threshold, filepath.Base(oldPath), filepath.Base(newPath))
+		return fmt.Errorf("%d benchmark(s) regressed beyond their limit (%.1fx general, %.1fx stream; %s vs %s)",
+			regressed, th.general, th.stream, filepath.Base(oldPath), filepath.Base(newPath))
 	}
 	// Disjoint benchmark sets (a rename sweep, a record from a different
 	// package list) leave nothing comparable — note it and pass.
@@ -132,8 +154,8 @@ func compare(oldPath, newPath string, threshold float64, out io.Writer) error {
 			filepath.Base(oldPath), filepath.Base(newPath))
 		return nil
 	}
-	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within %.1fx of %s\n",
-		compared, threshold, filepath.Base(oldPath))
+	fmt.Fprintf(out, "benchcheck: %d benchmark(s) within their limits (%.1fx general, %.1fx stream) of %s\n",
+		compared, th.general, th.stream, filepath.Base(oldPath))
 	return nil
 }
 

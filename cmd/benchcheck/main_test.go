@@ -66,9 +66,9 @@ func TestCompareWithinThreshold(t *testing.T) {
 		t.Fatalf("exit %d, output:\n%s", code, out.String())
 	}
 	for _, want := range []string{
-		"BenchmarkA: old=1000 new=1800 ratio=1.80 ok",
+		"BenchmarkA: old=1000 new=1800 ratio=1.80 (limit 2.0x) ok",
 		"BenchmarkC: new benchmark",
-		"within 2.0x",
+		"within their limits (2.0x general, 1.2x stream)",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out.String())
@@ -84,13 +84,42 @@ func TestCompareFlagsRegression(t *testing.T) {
 	if code := realMain([]string{old, new_}, &out); code == 0 {
 		t.Fatalf("2.5x regression passed, output:\n%s", out.String())
 	}
-	if !strings.Contains(out.String(), "ratio=2.50 REGRESSED") {
+	if !strings.Contains(out.String(), "ratio=2.50 (limit 2.0x) REGRESSED") {
 		t.Fatalf("output missing regression verdict:\n%s", out.String())
 	}
 	// A looser explicit threshold accepts the same pair.
 	out.Reset()
 	if code := realMain([]string{"-threshold", "3", old, new_}, &out); code != 0 {
 		t.Fatalf("exit %d under -threshold 3, output:\n%s", code, out.String())
+	}
+}
+
+// TestStreamThresholdTighter: a 1.5x slide is fine for a general
+// benchmark but fails a BenchmarkStream_* one, whose limit is 1.2x.
+func TestStreamThresholdTighter(t *testing.T) {
+	dir := t.TempDir()
+	old := record(t, dir, "BENCH_2026-01-01.json", [][2]string{
+		{"BenchmarkStream_ShardedBatch", "1000"}, {"BenchmarkOther", "1000"},
+	})
+	new_ := record(t, dir, "BENCH_2026-01-02.json", [][2]string{
+		{"BenchmarkStream_ShardedBatch", "1500"}, {"BenchmarkOther", "1500"},
+	})
+	var out bytes.Buffer
+	if code := realMain([]string{old, new_}, &out); code == 0 {
+		t.Fatalf("1.5x stream regression passed, output:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkStream_ShardedBatch: old=1000 new=1500 ratio=1.50 (limit 1.2x) REGRESSED",
+		"BenchmarkOther: old=1000 new=1500 ratio=1.50 (limit 2.0x) ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// Loosening -stream-threshold accepts the same pair.
+	out.Reset()
+	if code := realMain([]string{"-stream-threshold", "1.6", old, new_}, &out); code != 0 {
+		t.Fatalf("exit %d under -stream-threshold 1.6, output:\n%s", code, out.String())
 	}
 }
 
@@ -162,7 +191,7 @@ func TestPicksLexicallyLastTwo(t *testing.T) {
 	if code := realMain([]string{"-dir", dir}, &out); code != 0 {
 		t.Fatalf("exit %d:\n%s", code, out.String())
 	}
-	if !strings.Contains(out.String(), "ratio=1.10 ok") {
+	if !strings.Contains(out.String(), "ratio=1.10 (limit 2.0x) ok") {
 		t.Fatalf("output %q", out.String())
 	}
 }

@@ -53,6 +53,27 @@ func (s *StreamAuditor) Edge(v, w int) error {
 	return nil
 }
 
+// EdgeBatch audits a whole batch: one atomic add for the count, then
+// membership checks only at the sampled ordinals inside the batch —
+// the same every-sampleEvery-th-edge cadence as per-edge delivery.
+func (s *StreamAuditor) EdgeBatch(batch []exec.Edge) error {
+	n := int64(len(batch))
+	hi := s.edges.Add(n)
+	base := hi - n // edges seen before this batch
+	var sampled int64
+	// First in-batch index (0-based) whose 1-based global ordinal is a
+	// multiple of sampleEvery.
+	for i := int(s.sampleEvery - base%s.sampleEvery - 1); i < len(batch); i += int(s.sampleEvery) {
+		sampled++
+		s.checkEdge(batch[i].V, batch[i].W)
+	}
+	if sampled > 0 {
+		s.sampled.Add(sampled)
+		mSampled.Add(sampled)
+	}
+	return nil
+}
+
 // Edges returns the number of edges seen so far (before InjectDrop
 // adjustment).
 func (s *StreamAuditor) Edges() int64 { return s.edges.Load() }
@@ -112,16 +133,34 @@ func (s *shardAuditor) Edge(v, w int) error {
 	s.edges++
 	if s.edges%s.parent.sampleEvery == 0 {
 		s.sampled++
-		p := s.parent.p
-		if !(v >= 0 && w >= 0 && v < p.N() && w < p.N() &&
-			p.HasEdge(v, w) && p.SideOf(v) != p.SideOf(w)) {
-			s.bad++
-			if s.firstBad == "" {
-				s.firstBad = fmt.Sprintf("edge {%d,%d} is not a bipartition-crossing product edge", v, w)
-			}
-		}
+		s.checkEdge(v, w)
 	}
 	return nil
+}
+
+// EdgeBatch audits a whole batch with shard-local accounting: count the
+// batch in one add, membership-check only the sampled ordinals — the
+// identical cadence to per-edge delivery on the same shard stream.
+func (s *shardAuditor) EdgeBatch(batch []exec.Edge) error {
+	se := s.parent.sampleEvery
+	for i := int(se - s.edges%se - 1); i < len(batch); i += int(se) {
+		s.sampled++
+		s.checkEdge(batch[i].V, batch[i].W)
+	}
+	s.edges += int64(len(batch))
+	return nil
+}
+
+// checkEdge is the shard-local membership probe.
+func (s *shardAuditor) checkEdge(v, w int) {
+	p := s.parent.p
+	if !(v >= 0 && w >= 0 && v < p.N() && w < p.N() &&
+		p.HasEdge(v, w) && p.SideOf(v) != p.SideOf(w)) {
+		s.bad++
+		if s.firstBad == "" {
+			s.firstBad = fmt.Sprintf("edge {%d,%d} is not a bipartition-crossing product edge", v, w)
+		}
+	}
 }
 
 // Flush merges the shard's tallies into the parent.

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kronbip/internal/exec"
@@ -47,6 +49,43 @@ var (
 	mShardsDone  = obs.Default.Counter(MetricStreamShardsDone)
 	hShardSecs   = obs.Default.Histogram("core.stream.shard_seconds")
 )
+
+// Labeled per-shard edge counters, resolved once per process per shard
+// index and cached in an atomically-published table.  The shard
+// epilogue used to call obs.Default.Counter(obs.Labeled(...)) on every
+// shard completion of every stream — a registry map lookup plus a
+// label-formatting allocation on the hot path's tail, multiplied by
+// shards × streams under the serve workload.  Now a completed stream
+// reads the table lock-free; the mutex is only taken the first time a
+// larger shard count than ever before is requested.
+var (
+	shardCounterMu  sync.Mutex
+	shardCounterTab atomic.Pointer[[]*obs.Counter]
+)
+
+// shardEdgeCounters returns the labeled per-shard stream-edge counters
+// for shards [0, n), growing the cached table copy-on-write if needed.
+func shardEdgeCounters(n int) []*obs.Counter {
+	if tab := shardCounterTab.Load(); tab != nil && len(*tab) >= n {
+		return (*tab)[:n]
+	}
+	shardCounterMu.Lock()
+	defer shardCounterMu.Unlock()
+	var old []*obs.Counter
+	if tab := shardCounterTab.Load(); tab != nil {
+		old = *tab
+	}
+	if len(old) >= n {
+		return old[:n]
+	}
+	grown := make([]*obs.Counter, n)
+	copy(grown, old)
+	for i := len(old); i < n; i++ {
+		grown[i] = obs.Default.Counter(obs.Labeled(MetricStreamEdges, "shard", i))
+	}
+	shardCounterTab.Store(&grown)
+	return grown
+}
 
 // numRows returns the sharding row count.
 func (p *Product) numRows() int {
@@ -153,7 +192,12 @@ func (p *Product) EachEdgeContext(ctx context.Context, yield func(v, w int) bool
 }
 
 // ShardEdgeCount returns the number of undirected edges shard `shard` of
-// `nshards` will emit, without streaming.
+// `nshards` will emit, without streaming.  Closed form on the row range:
+// rows below |E_A| are factor-edge rows emitting 2·|E_B| product edges,
+// the rest (mode (ii) only) are self-loop rows emitting |E_B| — so the
+// count is (2·edgeRows + selfRows)·|E_B|, O(1) instead of O(rows).
+// The row-count multiplier is bounded by 2·numRows(), so the arithmetic
+// overflows int64 no earlier than summing the per-row terms would.
 func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
 	lo, hi, err := p.shardRange(shard, nshards)
 	if err != nil {
@@ -161,15 +205,9 @@ func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
 	}
 	nea := p.a.G.NumEdges()
 	eb := int64(p.b.G.NumEdges())
-	var n int64
-	for r := lo; r < hi; r++ {
-		if r < nea {
-			n += 2 * eb
-		} else {
-			n += eb
-		}
-	}
-	return n, nil
+	edgeRows := int64(min(hi, nea) - min(lo, nea))
+	selfRows := int64(hi-lo) - edgeRows
+	return (2*edgeRows + selfRows) * eb, nil
 }
 
 // StreamEdgesParallel streams all shards concurrently, delivering each
@@ -189,59 +227,92 @@ func (p *Product) StreamEdgesParallel(nshards int, sinkFor func(shard int) func(
 // StreamEdgesParallelContext streams all shards on the exec engine's
 // bounded worker pool.  Each shard's edges go to the sink returned by
 // sinkFor(shard); a sink is used from one goroutine at a time and is
-// flushed (exec.Finish) when its shard completes.  The first sink or
-// generation error cancels the remaining shards and is returned; if ctx
-// is cancelled mid-generation the stream aborts promptly with ctx.Err()
-// and already-written sink output is partial work for the caller to
-// discard.
+// flushed (exec.Finish) when its shard completes.  A sink that also
+// implements exec.BatchSink is fed through the batched hot loop —
+// whole pooled buffers per call instead of one dynamic dispatch per
+// edge; prefer that for any throughput-sensitive consumer.  The first
+// sink or generation error cancels the remaining shards and is
+// returned; if ctx is cancelled mid-generation the stream aborts
+// promptly with ctx.Err() and already-written sink output is partial
+// work for the caller to discard.
 func (p *Product) StreamEdgesParallelContext(ctx context.Context, nshards int, sinkFor func(shard int) exec.Sink) error {
 	if nshards <= 0 {
 		return fmt.Errorf("core: nshards must be positive, got %d", nshards)
 	}
 	// One Enabled read decides the whole stream's code path: disabled
-	// runs take the exact pre-instrumentation per-edge loop.
+	// runs take the exact pre-instrumentation per-edge loop.  The
+	// labeled per-shard counters are resolved here, once per stream
+	// from a process-wide cache, never in the shard epilogue.
 	instr := obs.Enabled()
 	var spanDone func()
+	var counters []*obs.Counter
 	if instr {
 		ctx, spanDone = obs.Span(ctx, "core.stream")
 		defer spanDone()
+		counters = shardEdgeCounters(nshards)
 	}
 	return exec.Sharded(ctx, nshards, func(ctx context.Context, s int) error {
 		sink := sinkFor(s)
-		edge := sink.Edge
-		if f, ok := sink.(exec.SinkFunc); ok {
-			edge = f // skip the interface dispatch in the per-edge hot path
-		}
-		var sinkErr error
-		yield := func(v, w int) bool {
-			if e := edge(v, w); e != nil {
-				sinkErr = e
-				return false
-			}
-			return true
-		}
-		var err error
+		var c *obs.Counter
 		if instr {
-			err = p.streamShardInstrumented(ctx, s, nshards, yield)
-		} else {
-			err = p.EachEdgeShardContext(ctx, s, nshards, yield)
+			c = counters[s]
 		}
-		switch {
-		case err != nil:
-			return err
-		case sinkErr != nil:
-			return sinkErr
+		if bs, ok := sink.(exec.BatchSink); ok {
+			var err error
+			if instr {
+				err = p.streamShardBatchInstrumented(ctx, s, nshards, c, bs)
+			} else {
+				err = p.streamShardBatch(ctx, s, nshards, bs)
+			}
+			if err != nil {
+				return err
+			}
+			return exec.Finish(sink)
 		}
-		return exec.Finish(sink)
+		return p.streamShardPerEdge(ctx, s, nshards, instr, c, sink)
 	})
+}
+
+// streamShardPerEdge runs one shard through the per-edge vocabulary.
+// Kept as its own function — not inlined into the dispatch closure
+// above — so the yield closure's enclosing frame stays small; folding
+// it next to the batch branch measurably slows the per-edge loop.
+func (p *Product) streamShardPerEdge(ctx context.Context, s, nshards int, instr bool, shardEdges *obs.Counter, sink exec.Sink) error {
+	edge := sink.Edge
+	if f, ok := sink.(exec.SinkFunc); ok {
+		edge = f // skip the interface dispatch in the per-edge hot path
+	}
+	var sinkErr error
+	yield := func(v, w int) bool {
+		if e := edge(v, w); e != nil {
+			sinkErr = e
+			return false
+		}
+		return true
+	}
+	var err error
+	if instr {
+		err = p.streamShardInstrumented(ctx, s, nshards, shardEdges, yield)
+	} else {
+		err = p.EachEdgeShardContext(ctx, s, nshards, yield)
+	}
+	switch {
+	case err != nil:
+		return err
+	case sinkErr != nil:
+		return sinkErr
+	}
+	return exec.Finish(sink)
 }
 
 // streamShardInstrumented streams one shard with per-shard metrics:
 // edges flush to the shared counter every streamObsBatch, and shard
-// completion records a labeled per-shard total, the done count, and the
-// shard's wall time.  Partial counts from aborted shards still flush, so
-// the progress reporter and final snapshot agree with what sinks saw.
-func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, yield func(v, w int) bool) error {
+// completion records a labeled per-shard total (through the
+// pre-resolved counter handle — no registry lookup here), the done
+// count, and the shard's wall time.  Partial counts from aborted
+// shards still flush, so the progress reporter and final snapshot
+// agree with what sinks saw.
+func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, shardEdges *obs.Counter, yield func(v, w int) bool) error {
 	start := time.Now()
 	var end timeline.Done
 	if timeline.Enabled() {
@@ -262,7 +333,7 @@ func (p *Product) streamShardInstrumented(ctx context.Context, s, nshards int, y
 	})
 	mStreamEdges.Add(batch)
 	total += batch
-	obs.Default.Counter(obs.Labeled(MetricStreamEdges, "shard", s)).Add(total)
+	shardEdges.Add(total)
 	hShardSecs.Observe(time.Since(start).Seconds())
 	if err == nil {
 		mShardsDone.Inc()

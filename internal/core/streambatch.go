@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"kronbip/internal/exec"
+	"kronbip/internal/obs"
+	"kronbip/internal/obs/timeline"
+)
+
+// Batched edge streaming.  The per-edge paths in stream.go pay one
+// indirect call per product edge; at millions of edges per shard that
+// dispatch, not the index arithmetic, is the cost.  The batch paths
+// below fill a pooled []exec.Edge buffer (capacity exec.BatchLen) in a
+// closure-free hot loop and yield whole batches, so downstream work —
+// sink dispatch, fan-in channel sends, obs counter flushes — happens
+// once per batch.  StreamEdgesParallelContext picks this path
+// automatically for any sink that implements exec.BatchSink.
+//
+// Cancellation contract: the context is checked before every batch is
+// delivered, so no batch is ever yielded after a cancellation is
+// observed; at most one buffer's worth of edges (exec.BatchLen) is
+// generated-and-discarded past the cancellation point.  An edge is
+// never delivered twice, cancelled or not.
+
+// streamRowsBatch walks rows [lo, hi) of the shard layout, filling buf
+// and flushing full batches to emit; buf must be empty with capacity
+// >= 2.  The final partial batch is emitted too.  Emitted slices are
+// reused between calls — consumers must not retain them.
+func (p *Product) streamRowsBatch(lo, hi int, buf []exec.Edge, emit func(batch []exec.Edge) bool) {
+	ea := p.a.G.Edges()
+	eb := p.b.G.Edges()
+	nb := p.b.N()
+	for r := lo; r < hi; r++ {
+		if r < len(ea) {
+			au, av := ea[r].U*nb, ea[r].V*nb
+			for _, be := range eb {
+				buf = append(buf, exec.Edge{V: au + be.U, W: av + be.V}, exec.Edge{V: au + be.V, W: av + be.U})
+				if cap(buf)-len(buf) < 2 {
+					if !emit(buf) {
+						return
+					}
+					buf = buf[:0]
+				}
+			}
+			continue
+		}
+		i := (r - len(ea)) * nb // self-loop row (mode (ii) only)
+		for _, be := range eb {
+			buf = append(buf, exec.Edge{V: i + be.U, W: i + be.V})
+			if cap(buf)-len(buf) < 2 {
+				if !emit(buf) {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		emit(buf)
+	}
+}
+
+// EachEdgeShardBatch streams shard `shard` of `nshards` as batches of
+// up to exec.BatchLen edges.  The union over all shards is exactly the
+// EachEdge stream; edges never repeat across shards.  The yielded
+// slice is reused between calls.  Iteration stops early if yield
+// returns false.
+func (p *Product) EachEdgeShardBatch(shard, nshards int, yield func(batch []exec.Edge) bool) error {
+	lo, hi, err := p.shardRange(shard, nshards)
+	if err != nil {
+		return err
+	}
+	buf := exec.GetEdgeBuf()
+	defer exec.PutEdgeBuf(buf)
+	p.streamRowsBatch(lo, hi, (*buf)[:0], yield)
+	return nil
+}
+
+// EachEdgeShardBatchContext is EachEdgeShardBatch under a context.
+// The context is checked before each batch is delivered; on
+// cancellation the stream stops without yielding again and returns
+// ctx.Err() (see the package contract above).  A non-cancellable
+// context takes the zero-overhead EachEdgeShardBatch loop.
+func (p *Product) EachEdgeShardBatchContext(ctx context.Context, shard, nshards int, yield func(batch []exec.Edge) bool) error {
+	lo, hi, err := p.shardRange(shard, nshards)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	buf := exec.GetEdgeBuf()
+	defer exec.PutEdgeBuf(buf)
+	done := ctx.Done()
+	if done == nil {
+		p.streamRowsBatch(lo, hi, (*buf)[:0], yield)
+		return nil
+	}
+	cancelled := false
+	p.streamRowsBatch(lo, hi, (*buf)[:0], func(batch []exec.Edge) bool {
+		select {
+		case <-done:
+			cancelled = true
+			return false
+		default:
+		}
+		return yield(batch)
+	})
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// EachEdgeBatchContext streams the whole edge set (the EachEdge order)
+// in batches under a context; see EachEdgeShardBatchContext for the
+// cancellation contract.
+func (p *Product) EachEdgeBatchContext(ctx context.Context, yield func(batch []exec.Edge) bool) error {
+	return p.EachEdgeShardBatchContext(ctx, 0, 1, yield)
+}
+
+// streamShardBatch streams one shard wholesale into bs, capturing the
+// first sink error; the uninstrumented half of the parallel batch path.
+func (p *Product) streamShardBatch(ctx context.Context, s, nshards int, bs exec.BatchSink) error {
+	var sinkErr error
+	err := p.EachEdgeShardBatchContext(ctx, s, nshards, func(batch []exec.Edge) bool {
+		if e := bs.EdgeBatch(batch); e != nil {
+			sinkErr = e
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return sinkErr
+}
+
+// streamShardBatchInstrumented is streamShardBatch with per-shard
+// metrics.  Batching makes the obs contract free: the shared edge
+// counter takes exactly one Add per batch (>= the streamObsBatch
+// granularity the per-edge path had to engineer), and the labeled
+// per-shard counter — pre-resolved once per process by
+// shardEdgeCounter, never looked up in the epilogue — takes one.
+func (p *Product) streamShardBatchInstrumented(ctx context.Context, s, nshards int, shardEdges *obs.Counter, bs exec.BatchSink) error {
+	start := time.Now()
+	var end timeline.Done
+	if timeline.Enabled() {
+		end = timeline.Begin(timeline.CatShard, "core.stream", s)
+	}
+	var total int64
+	var sinkErr error
+	err := p.EachEdgeShardBatchContext(ctx, s, nshards, func(batch []exec.Edge) bool {
+		if e := bs.EdgeBatch(batch); e != nil {
+			sinkErr = e
+			return false
+		}
+		n := int64(len(batch))
+		mStreamEdges.Add(n)
+		total += n
+		return true
+	})
+	if err == nil {
+		err = sinkErr
+	}
+	shardEdges.Add(total)
+	hShardSecs.Observe(time.Since(start).Seconds())
+	if err == nil {
+		mShardsDone.Inc()
+	}
+	if end != nil {
+		end(err)
+	}
+	return err
+}

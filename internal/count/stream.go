@@ -1,0 +1,67 @@
+package count
+
+import (
+	"fmt"
+
+	"kronbip/internal/exec"
+)
+
+// Streaming consumers: sinks that accumulate validation statistics
+// directly from an edge stream, so a product too large to materialize
+// can still be cross-checked against its closed forms.  Both speak the
+// per-edge and the batched exec vocabularies; the batch paths do their
+// bookkeeping once per slice, not once per edge.
+
+// DegreeSink tallies per-vertex degrees from a streamed undirected
+// edge list.  One instance per shard (it is not safe for concurrent
+// writers); Merge folds shard tallies together.  The resulting vector
+// is the stream-side half of a degree ground-truth check: for a full
+// stream it must equal the closed-form product degrees vertex by
+// vertex.
+type DegreeSink struct {
+	deg []int64
+}
+
+// NewDegreeSink returns a degree tally over vertex IDs [0, n).
+func NewDegreeSink(n int) *DegreeSink {
+	return &DegreeSink{deg: make([]int64, n)}
+}
+
+// Edge counts one undirected edge at both endpoints.
+func (d *DegreeSink) Edge(v, w int) error {
+	if v < 0 || w < 0 || v >= len(d.deg) || w >= len(d.deg) {
+		return fmt.Errorf("count: streamed edge {%d,%d} outside vertex range [0,%d)", v, w, len(d.deg))
+	}
+	d.deg[v]++
+	d.deg[w]++
+	return nil
+}
+
+// EdgeBatch counts a whole batch; the bounds check hoists to one
+// comparison per edge on the already-loaded struct.
+func (d *DegreeSink) EdgeBatch(batch []exec.Edge) error {
+	n := len(d.deg)
+	for _, e := range batch {
+		if uint(e.V) >= uint(n) || uint(e.W) >= uint(n) {
+			return fmt.Errorf("count: streamed edge {%d,%d} outside vertex range [0,%d)", e.V, e.W, n)
+		}
+		d.deg[e.V]++
+		d.deg[e.W]++
+	}
+	return nil
+}
+
+// Degrees returns the tally; the slice is live until the next Edge call.
+func (d *DegreeSink) Degrees() []int64 { return d.deg }
+
+// Merge folds another shard's tally into this one.  The two must cover
+// the same vertex range.
+func (d *DegreeSink) Merge(other *DegreeSink) error {
+	if len(other.deg) != len(d.deg) {
+		return fmt.Errorf("count: merging degree sinks over %d and %d vertices", len(d.deg), len(other.deg))
+	}
+	for v, c := range other.deg {
+		d.deg[v] += c
+	}
+	return nil
+}

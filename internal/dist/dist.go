@@ -152,28 +152,32 @@ func generateRank(ctx context.Context, p *core.Product, rank, ranks int) (Shard,
 		}
 	}
 
-	// Edge generation: stream every product edge, keep those owned here
-	// (owner = rank of the lower endpoint), and evaluate ◊ inline.  A real
+	// Edge generation: stream every product edge in batches, keep those
+	// owned here (owner = rank of the lower endpoint), and evaluate ◊
+	// inline.  The batch path means each rank pays stream dispatch once
+	// per exec.BatchLen edges while scanning for its slice.  A real
 	// distributed generator would enumerate only local factor-edge pairs;
 	// the ownership rule makes the partition exact either way, and the
 	// cost model (each rank scans the factor pair space) matches the
 	// paper's O(|E_C|^{1/2})-memory workers.
 	var streamErr error
-	err := p.EachEdgeContext(ctx, func(v, w int) bool {
-		low := v
-		if w < low {
-			low = w
+	err := p.EachEdgeBatchContext(ctx, func(batch []exec.Edge) bool {
+		for _, e := range batch {
+			low := e.V
+			if e.W < low {
+				low = e.W
+			}
+			if low < lo || low >= hi {
+				continue
+			}
+			sq, err := p.EdgeFourCyclesAt(e.V, e.W)
+			if err != nil {
+				streamErr = err
+				return false
+			}
+			s.Edges++
+			s.SumEdgeSq += sq
 		}
-		if low < lo || low >= hi {
-			return true
-		}
-		sq, err := p.EdgeFourCyclesAt(v, w)
-		if err != nil {
-			streamErr = err
-			return false
-		}
-		s.Edges++
-		s.SumEdgeSq += sq
 		return true
 	})
 	if err != nil {

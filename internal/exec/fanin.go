@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// FanIn funnels a sharded stream into one consumer.  Each shard writes
+// through its own ForShard producer, which fills pooled edge buffers
+// and sends whole buffers over a bounded channel; a single consumer
+// goroutine drains them into the inner sink and recycles the buffers.
+// The channel therefore carries one send per BatchLen edges, not one
+// per edge — the shape that makes many-shards-one-consumer streams
+// competitive with serial generation (the BufferedSink-over-LockedSink
+// alternative still pays a lock handoff per drain under contention).
+//
+// Edges from one shard arrive at the inner sink in shard order; edges
+// from different shards interleave at buffer granularity.  The inner
+// sink is only ever touched by the consumer goroutine, so it needs no
+// locking of its own.
+//
+// Lifecycle: NewFanIn starts the consumer; hand one ForShard sink to
+// each shard; after the stream ends (success or abort), call Close
+// exactly once to drain, flush the inner sink and collect the first
+// consumer-side error.
+type FanIn struct {
+	inner  Sink
+	ch     chan *[]Edge
+	done   chan struct{}
+	failed atomic.Bool
+	err    error // consumer-side first error; published via failed, read after done
+}
+
+// NewFanIn starts a fan-in into inner with the given channel depth
+// (buffers in flight; depth <= 0 selects 2×GOMAXPROCS).
+func NewFanIn(inner Sink, depth int) *FanIn {
+	if depth <= 0 {
+		depth = 2 * runtime.GOMAXPROCS(0)
+	}
+	f := &FanIn{inner: inner, ch: make(chan *[]Edge, depth), done: make(chan struct{})}
+	go f.consume()
+	return f
+}
+
+// consume is the single consumer: deliver each buffer, recycle it.
+// After an inner-sink error it keeps draining (and discarding) so no
+// producer can block on a full channel, and producers observe the
+// failure through the atomic flag at their next send.
+func (f *FanIn) consume() {
+	defer close(f.done)
+	for buf := range f.ch {
+		if !f.failed.Load() {
+			if err := DeliverBatch(f.inner, *buf); err != nil {
+				f.err = err
+				f.failed.Store(true)
+			}
+		}
+		PutEdgeBuf(buf)
+	}
+}
+
+// ForShard returns a producer sink for one shard.  Each producer is
+// used from a single goroutine (the Sink contract); its Flush sends
+// the final partial buffer, so exec.Finish at shard completion
+// delivers the tail.
+func (f *FanIn) ForShard() Sink {
+	return &fanInShard{f: f, buf: GetEdgeBuf()}
+}
+
+// Close signals end of stream, waits for the consumer to drain every
+// in-flight buffer, flushes the inner sink, and returns the first
+// consumer-side error.  Call exactly once, after every producer is
+// done (i.e. after the parallel stream has returned).
+func (f *FanIn) Close() error {
+	close(f.ch)
+	<-f.done
+	if f.err != nil {
+		return f.err
+	}
+	return Finish(f.inner)
+}
+
+// fanInShard is one shard's producer: fill a pooled buffer, send it
+// whole, grab a fresh one.
+type fanInShard struct {
+	f   *FanIn
+	buf *[]Edge
+}
+
+// Edge buffers the edge, sending the buffer when it fills.
+func (s *fanInShard) Edge(v, w int) error {
+	*s.buf = append(*s.buf, Edge{v, w})
+	if len(*s.buf) >= cap(*s.buf) {
+		return s.send()
+	}
+	return nil
+}
+
+// EdgeBatch copies the batch into the shard's buffer in capacity-sized
+// chunks.  The copy is unavoidable — buffer ownership transfers across
+// the channel, while the incoming slice stays with its producer.
+func (s *fanInShard) EdgeBatch(edges []Edge) error {
+	for len(edges) > 0 {
+		take := cap(*s.buf) - len(*s.buf)
+		if take > len(edges) {
+			take = len(edges)
+		}
+		*s.buf = append(*s.buf, edges[:take]...)
+		edges = edges[take:]
+		if len(*s.buf) >= cap(*s.buf) {
+			if err := s.send(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// send transfers the full buffer to the consumer and starts a fresh
+// one.  A consumer that has already failed surfaces its error here,
+// aborting this shard's stream instead of queueing doomed work.
+func (s *fanInShard) send() error {
+	if s.f.failed.Load() {
+		return s.f.err // safe: published before failed was set
+	}
+	full := s.buf
+	s.buf = GetEdgeBuf()
+	s.f.ch <- full
+	return nil
+}
+
+// Flush sends the final partial buffer, if any.
+func (s *fanInShard) Flush() error {
+	if len(*s.buf) == 0 {
+		return nil
+	}
+	return s.send()
+}

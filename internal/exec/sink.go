@@ -44,6 +44,9 @@ type NullSink struct{}
 // Edge discards the edge.
 func (NullSink) Edge(int, int) error { return nil }
 
+// EdgeBatch discards the batch.
+func (NullSink) EdgeBatch([]Edge) error { return nil }
+
 // CountingSink counts edges atomically; safe for concurrent writers, so a
 // single CountingSink can tally across every shard of a parallel stream.
 type CountingSink struct {
@@ -53,6 +56,12 @@ type CountingSink struct {
 // Edge counts the edge.
 func (c *CountingSink) Edge(int, int) error {
 	c.n.Add(1)
+	return nil
+}
+
+// EdgeBatch counts the whole batch with one atomic add.
+func (c *CountingSink) EdgeBatch(edges []Edge) error {
+	c.n.Add(int64(len(edges)))
 	return nil
 }
 
@@ -67,6 +76,17 @@ type MultiSink []Sink
 func (m MultiSink) Edge(v, w int) error {
 	for _, s := range m {
 		if err := s.Edge(v, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EdgeBatch delivers the batch to each member, wholesale where the
+// member speaks BatchSink and edge-at-a-time otherwise.
+func (m MultiSink) EdgeBatch(edges []Edge) error {
+	for _, s := range m {
+		if err := DeliverBatch(s, edges); err != nil {
 			return err
 		}
 	}
@@ -102,6 +122,14 @@ func (l *LockedSink) Edge(v, w int) error {
 	return l.inner.Edge(v, w)
 }
 
+// EdgeBatch delivers the whole batch under one lock acquisition — the
+// fan-in cost drops from a lock per edge to a lock per BatchLen edges.
+func (l *LockedSink) EdgeBatch(edges []Edge) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return DeliverBatch(l.inner, edges)
+}
+
 // Flush flushes the underlying sink under the lock.
 func (l *LockedSink) Flush() error {
 	l.mu.Lock()
@@ -109,52 +137,58 @@ func (l *LockedSink) Flush() error {
 	return Finish(l.inner)
 }
 
-// edgePair is one buffered product edge.
-type edgePair struct{ v, w int }
-
 // bufferedSinkCap is the default BufferedSink capacity: big enough to
 // amortize the downstream call, small enough to stay cache-resident.
 const bufferedSinkCap = 4096
 
-var edgeBufPool = sync.Pool{
-	New: func() any {
-		b := make([]edgePair, 0, bufferedSinkCap)
-		return &b
-	},
-}
-
 // BufferedSink batches edges in a pooled buffer and hands them downstream
 // in bursts, cutting per-edge call (and, behind a LockedSink, lock) costs.
-// Flush drains the buffer; Close drains it and returns it to the pool.
+// It is also the Sink→BatchSink adapter: when the inner sink speaks
+// BatchSink, each drain is a single wholesale EdgeBatch call.  Flush
+// drains the buffer; Close drains it and returns it to the pool.
 type BufferedSink struct {
 	inner Sink
-	buf   *[]edgePair
+	buf   *[]Edge
 }
 
 // NewBufferedSink wraps inner with a pooled batch buffer.
 func NewBufferedSink(inner Sink) *BufferedSink {
-	return &BufferedSink{inner: inner, buf: edgeBufPool.Get().(*[]edgePair)}
+	return &BufferedSink{inner: inner, buf: GetEdgeBuf()}
 }
 
 // Edge buffers the edge, draining downstream when the buffer fills.
 func (b *BufferedSink) Edge(v, w int) error {
-	*b.buf = append(*b.buf, edgePair{v, w})
+	*b.buf = append(*b.buf, Edge{v, w})
 	if len(*b.buf) >= cap(*b.buf) {
 		return b.drain()
 	}
 	return nil
 }
 
-func (b *BufferedSink) drain() error {
-	buf := *b.buf
-	for _, e := range buf {
-		if err := b.inner.Edge(e.v, e.w); err != nil {
-			*b.buf = buf[:0]
-			return err
+// EdgeBatch buffers the batch in capacity-sized chunks.  The incoming
+// slice is copied (its producer reuses it), so batches re-emerge
+// downstream aligned to this sink's own buffer boundaries.
+func (b *BufferedSink) EdgeBatch(edges []Edge) error {
+	for len(edges) > 0 {
+		take := cap(*b.buf) - len(*b.buf)
+		if take > len(edges) {
+			take = len(edges)
+		}
+		*b.buf = append(*b.buf, edges[:take]...)
+		edges = edges[take:]
+		if len(*b.buf) >= cap(*b.buf) {
+			if err := b.drain(); err != nil {
+				return err
+			}
 		}
 	}
-	*b.buf = buf[:0]
 	return nil
+}
+
+func (b *BufferedSink) drain() error {
+	err := DeliverBatch(b.inner, *b.buf)
+	*b.buf = (*b.buf)[:0]
+	return err
 }
 
 // Flush drains buffered edges downstream and flushes the inner sink.
@@ -170,8 +204,7 @@ func (b *BufferedSink) Flush() error {
 func (b *BufferedSink) Close() error {
 	err := b.Flush()
 	if b.buf != nil {
-		*b.buf = (*b.buf)[:0]
-		edgeBufPool.Put(b.buf)
+		PutEdgeBuf(b.buf)
 		b.buf = nil
 	}
 	return err
@@ -198,6 +231,36 @@ func (t *TSVSink) Edge(v, w int) error {
 	b = strconv.AppendInt(b, int64(w), 10)
 	b = append(b, '\n')
 	t.scratch = b
+	_, err := t.bw.Write(b)
+	return err
+}
+
+// tsvChunk bounds how many rendered bytes EdgeBatch accumulates before
+// handing them to the buffered writer, keeping the scratch buffer out
+// of large-allocation territory on worst-case vertex widths.
+const tsvChunk = 32 << 10
+
+// EdgeBatch renders the whole batch into the scratch buffer in chunks,
+// paying the writer call once per chunk instead of once per edge.
+func (t *TSVSink) EdgeBatch(edges []Edge) error {
+	b := t.scratch[:0]
+	for _, e := range edges {
+		b = strconv.AppendInt(b, int64(e.V), 10)
+		b = append(b, '\t')
+		b = strconv.AppendInt(b, int64(e.W), 10)
+		b = append(b, '\n')
+		if len(b) >= tsvChunk {
+			if _, err := t.bw.Write(b); err != nil {
+				t.scratch = b[:0]
+				return err
+			}
+			b = b[:0]
+		}
+	}
+	t.scratch = b
+	if len(b) == 0 {
+		return nil
+	}
 	_, err := t.bw.Write(b)
 	return err
 }

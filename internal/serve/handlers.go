@@ -62,6 +62,19 @@ func specFromQuery(q url.Values) (spec.Spec, error) {
 	return sp.WithDefaults(), nil
 }
 
+// retryAfterSeconds renders a backoff hint as whole seconds for the
+// Retry-After header: round up, then clamp to a minimum of 1.  The
+// round-up alone only guards fractional seconds — a zero (or negative)
+// duration would still render as "Retry-After: 0", telling saturated
+// clients to hammer the queue immediately.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // syncContext bounds a sync (non-streaming) handler by the configured
 // request timeout.
 func (s *Server) syncContext(r *http.Request) (context.Context, context.CancelFunc) {
@@ -84,16 +97,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /v1/stats payload: the Table I shape, answered
 // entirely from factor closed forms.
 type statsResponse struct {
-	Spec             string `json:"spec"`
-	Mode             string `json:"mode"`
+	Spec             string      `json:"spec"`
+	Mode             string      `json:"mode"`
 	FactorA          factorStats `json:"factor_a"`
 	FactorB          factorStats `json:"factor_b"`
-	N                int    `json:"n"`
-	NU               int    `json:"n_u"`
-	NW               int    `json:"n_w"`
-	NumEdges         int64  `json:"num_edges"`
-	GlobalFourCycles int64  `json:"global_four_cycles"`
-	Connected        bool   `json:"connected_by_theorem"`
+	N                int         `json:"n"`
+	NU               int         `json:"n_u"`
+	NW               int         `json:"n_w"`
+	NumEdges         int64       `json:"num_edges"`
+	GlobalFourCycles int64       `json:"global_four_cycles"`
+	Connected        bool        `json:"connected_by_theorem"`
 }
 
 type factorStats struct {
@@ -274,7 +287,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	case errors.Is(err, ErrSaturated):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):

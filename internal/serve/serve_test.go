@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -233,6 +234,64 @@ func TestSaturationReturns429(t *testing.T) {
 	}
 }
 
+// TestRetryAfterSeconds pins the header arithmetic: round up to whole
+// seconds, and never render 0 — a zero RetryAfter config (the zero
+// value before defaults, or an explicit "no wait") must still tell
+// clients to back off for at least a second.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},
+		{999 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1001 * time.Millisecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{10 * time.Second, 10},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.d); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestSaturated429NeverAdvertisesZeroWait: end to end, a server whose
+// RetryAfter rounds to zero still sends Retry-After >= 1.
+func TestSaturated429NeverAdvertisesZeroWait(t *testing.T) {
+	block := make(chan struct{})
+	s, ts := testServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: time.Millisecond})
+	s.mgr.runHook = func(ctx context.Context, j *Job) error {
+		select {
+		case <-block:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer close(block)
+	first, res := submitJob(t, ts.URL, `{"factor":"crown4"}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", res.StatusCode)
+	}
+	waitState(t, ts.URL, first.ID, "running")
+	if _, res = submitJob(t, ts.URL, `{"factor":"crown4"}`); res.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d", res.StatusCode)
+	}
+	_, res = submitJob(t, ts.URL, `{"factor":"crown4"}`)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit = %d, want 429", res.StatusCode)
+	}
+	secs, err := strconv.Atoi(res.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want an integer >= 1", res.Header.Get("Retry-After"))
+	}
+}
+
 func TestOversizedSpecReturns413(t *testing.T) {
 	_, ts := testServer(t, Config{MaxEdges: 100})
 	_, res := submitJob(t, ts.URL, `{"factor":"unicode"}`) // |E_C| ≈ 4.8M >> 100
@@ -250,7 +309,22 @@ func TestOversizedSpecReturns413(t *testing.T) {
 }
 
 func TestCancelMidStream(t *testing.T) {
-	_, ts := testServer(t, Config{})
+	release := make(chan struct{})
+	s, ts := testServer(t, Config{})
+	// Hold the job in its run hook so it is still running when the
+	// DELETE lands — batched generation finishes real jobs faster than
+	// the request round-trips, which would leave the job "done" (and
+	// only the stream aborted) instead of exercising the
+	// cancelled-while-running transition.
+	s.mgr.runHook = func(ctx context.Context, j *Job) error {
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	defer close(release)
 	// A sizeable spec so the stream is still in flight when we cancel:
 	// sf factor squared ⇒ millions of edges.
 	st, res := submitJob(t, ts.URL, `{"factor":"sf100x100x2000","seed":5}`)
