@@ -749,6 +749,67 @@ func BenchmarkStream_BatchFanIn(b *testing.B) {
 	b.ReportMetric(float64(p.NumEdges()), "edges/op")
 }
 
+// --- Chained products: streaming a k = 2 chain (3 factors) ---
+//
+// The chain hot loop walks the mixed-radix decomposition instead of the
+// two-factor fast path; these benches hold it to the same bar — the
+// sharded batched walk must not regress against the serial one, and
+// neither may sit far off the two-factor per-edge cost.
+
+// chainProduct builds a 3-factor chain at roughly Table I edge scale:
+// ((sf48x96+I)⊗sf48x96 + I) ⊗ crown4, ~3.6M edges.
+func chainProduct(b *testing.B) *core.Product {
+	b.Helper()
+	a := gen.ConnectedBipartiteScaleFree(48, 96, 240, 2020)
+	p, err := core.NewChainWithParts(a.Graph, core.ModeSelfLoopFactor, a, gen.Crown(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkStream_Chain_Serial walks the whole chain edge set on one
+// goroutine through the batched radix loop.
+func BenchmarkStream_Chain_Serial(b *testing.B) {
+	p := chainProduct(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int64
+		p.EachEdge(func(v, w int) bool { n++; return true })
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
+// BenchmarkStream_Chain_ShardedBatch is the chain analogue of
+// BenchmarkStream_ShardedBatch: all shards concurrently, batch-capable
+// per-shard counters, closed-form shard ranges over the term expansion.
+func BenchmarkStream_Chain_ShardedBatch(b *testing.B) {
+	p := chainProduct(b)
+	ctx := context.Background()
+	nshards := max(2, runtime.GOMAXPROCS(0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counters := make([]batchCounter, nshards)
+		err := p.StreamEdgesParallelContext(ctx, nshards, func(s int) exec.Sink {
+			return &counters[s]
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var n int64
+		for s := range counters {
+			n += counters[s].n
+		}
+		if n != p.NumEdges() {
+			b.Fatalf("streamed %d edges, want %d", n, p.NumEdges())
+		}
+	}
+	b.ReportMetric(float64(p.NumEdges()), "edges/op")
+}
+
 // BenchmarkStream_ShardedBufferedFanIn streams all shards through pooled
 // per-shard buffers into one shared locked sink — the multi-writer shape
 // cmd/kronbip uses when several shards feed one consumer.

@@ -32,8 +32,15 @@
 //
 // Factors (-factor): unicode, crown<N>, biclique<NU>x<NW>, cycle<N>,
 // path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES> (bipartite
-// scale-free).  -mode selects selfloop ((A+I)⊗A-style, default) or
-// nonbip (K-odd ⊗ B; pairs the bipartite factor with a 5-cycle A).
+// scale-free), product(<F1>,<F2>) (materialized two-factor product as a
+// single factor).  -factor repeats: each extra occurrence chains one more
+// Kronecker level onto the product,
+//
+//	kronbip generate -factor crown4 -factor path3 -factor path2 ...
+//
+// without ever materializing the intermediate levels.  -mode selects
+// selfloop ((A+I)⊗A-style, default) or nonbip (K-odd ⊗ B; pairs the
+// first bipartite factor with a 5-cycle A).
 //
 // Generation streams shards in parallel on the internal/exec engine:
 // -shards defaults to GOMAXPROCS (stdout output forces one shard), and
@@ -110,16 +117,43 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: kronbip <generate|stats|truth|verify|serve|version> [flags]  (run a subcommand with -h for its flags)")
 }
 
-// buildProduct assembles the product named by a (-factor, -mode, -seed)
-// flag triple through the shared spec vocabulary, so the CLI and the
+// factorChain collects repeated -factor flags in chain order.  The flag
+// surface mirrors the serve query decoder's repeated ?factor= fields;
+// both funnel into the same spec vocabulary.
+type factorChain []string
+
+func (f *factorChain) String() string { return strings.Join(*f, ",") }
+
+func (f *factorChain) Set(v string) error {
+	*f = append(*f, v)
+	return nil
+}
+
+// factorFlag registers the repeatable -factor flag.  The returned slice
+// is empty until Parse; resolve defaults with orDefault after parsing.
+func factorFlag(fs *flag.FlagSet) *factorChain {
+	var f factorChain
+	fs.Var(&f, "factor", "factor spec; repeat to chain additional Kronecker levels")
+	return &f
+}
+
+func (f factorChain) orDefault(def string) []string {
+	if len(f) == 0 {
+		return []string{def}
+	}
+	return f
+}
+
+// buildProduct assembles the product named by a (-factor…, -mode, -seed)
+// flag set through the shared spec vocabulary, so the CLI and the
 // serve request decoder resolve specs identically.
-func buildProduct(factorSpec, mode string, seed int64) (*core.Product, error) {
-	return spec.Spec{Factor: factorSpec, Mode: mode, Seed: seed}.Build()
+func buildProduct(factors []string, mode string, seed int64) (*core.Product, error) {
+	return spec.Spec{Factors: factors, Mode: mode, Seed: seed}.Build()
 }
 
 func cmdGenerate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	factor := fs.String("factor", "unicode", "factor spec")
+	factor := factorFlag(fs)
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	out := fs.String("edges-out", "-", "edge list destination ('-' for stdout)")
@@ -133,7 +167,7 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	verb := cli.RegisterVerbosity(fs)
 	fs.Parse(args)
 
-	p, err := buildProduct(*factor, *mode, *seed)
+	p, err := buildProduct(factor.orDefault("unicode"), *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -282,7 +316,7 @@ func generateSharded(ctx context.Context, p *core.Product, prefix string, shards
 
 func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
-	factor := fs.String("factor", "unicode", "factor spec")
+	factor := factorFlag(fs)
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	spectral := fs.Bool("spectral", false, "also report the exact spectral radius ρ(C)")
@@ -295,15 +329,21 @@ func cmdStats(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	p, err := buildProduct(*factor, *mode, *seed)
+	p, err := buildProduct(factor.orDefault("unicode"), *mode, *seed)
 	if err != nil {
 		return err
 	}
-	fa, fb := p.FactorA(), p.FactorB()
+	fa := p.FactorA()
 	nu, nw := p.PartSizes()
-	fmt.Printf("mode:      %v\n", p.Mode())
+	fmt.Printf("mode:      %v (arity %d)\n", p.Mode(), p.Arity())
 	fmt.Printf("factor A:  n=%d m=%d □=%d triangles=%d\n", fa.N(), fa.G.NumEdges(), fa.Global4, fa.Triangles)
-	fmt.Printf("factor B:  n=%d m=%d □=%d\n", fb.N(), fb.G.NumEdges(), fb.Global4)
+	for t, fb := range p.Factors()[1:] {
+		label := "B: "
+		if p.Arity() > 2 {
+			label = fmt.Sprintf("B%d:", t+1)
+		}
+		fmt.Printf("factor %s n=%d m=%d □=%d\n", label, fb.N(), fb.G.NumEdges(), fb.Global4)
+	}
 	fmt.Printf("product:   n=%d (|U|=%d |W|=%d) m=%d\n", p.N(), nu, nw, p.NumEdges())
 	fmt.Printf("product □: %d (closed form, no materialization)\n", p.GlobalFourCycles())
 	fmt.Printf("connected by theorem: %v\n", p.ConnectedByTheorem())
@@ -326,7 +366,7 @@ func cmdStats(ctx context.Context, args []string) error {
 
 func cmdTruth(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("truth", flag.ExitOnError)
-	factor := fs.String("factor", "unicode", "factor spec")
+	factor := factorFlag(fs)
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	vertex := fs.Int("vertex", -1, "product vertex to query")
@@ -340,7 +380,7 @@ func cmdTruth(ctx context.Context, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	p, err := buildProduct(*factor, *mode, *seed)
+	p, err := buildProduct(factor.orDefault("unicode"), *mode, *seed)
 	if err != nil {
 		return err
 	}
@@ -351,9 +391,9 @@ func cmdTruth(ctx context.Context, args []string) error {
 		if *vertex >= p.N() {
 			return fmt.Errorf("vertex %d out of range [0,%d)", *vertex, p.N())
 		}
-		i, k := p.PairOf(*vertex)
-		fmt.Printf("vertex %d = (A:%d, B:%d): degree=%d two-walks=%d 4-cycles=%d side=%v\n",
-			*vertex, i, k, p.DegreeAt(*vertex), p.TwoWalksAt(*vertex), p.VertexFourCyclesAt(*vertex), p.SideOf(*vertex))
+		digits := p.DigitsOf(*vertex)
+		fmt.Printf("vertex %d = digits%v: degree=%d two-walks=%d 4-cycles=%d side=%v\n",
+			*vertex, digits, p.DegreeAt(*vertex), p.TwoWalksAt(*vertex), p.VertexFourCyclesAt(*vertex), p.SideOf(*vertex))
 	}
 	if *edge != "" {
 		parts := strings.Split(*edge, ",")
@@ -403,14 +443,14 @@ func cmdTruth(ctx context.Context, args []string) error {
 
 func cmdVerify(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	factor := fs.String("factor", "crown4", "factor spec")
+	factor := factorFlag(fs)
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	samples := fs.Int("samples", 100, "vertices and edges to sample (0 = exhaustive)")
 	workers := fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	fs.Parse(args)
 
-	p, err := buildProduct(*factor, *mode, *seed)
+	p, err := buildProduct(factor.orDefault("crown4"), *mode, *seed)
 	if err != nil {
 		return err
 	}

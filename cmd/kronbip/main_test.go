@@ -8,26 +8,55 @@ import (
 
 // Factor-spec parsing itself is covered in internal/spec (the shared
 // helper both the CLI and the serve decoder resolve through); this test
-// pins the CLI wrapper's mode wiring.
+// pins the CLI wrapper's mode wiring and the repeatable -factor flag.
 func TestBuildProductModes(t *testing.T) {
-	p, err := buildProduct("crown4", "selfloop", 1)
+	p, err := buildProduct([]string{"crown4"}, "selfloop", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Mode() != core.ModeSelfLoopFactor {
 		t.Fatal("selfloop mode wrong")
 	}
-	p, err = buildProduct("crown4", "nonbip", 1)
+	p, err = buildProduct([]string{"crown4"}, "nonbip", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.Mode() != core.ModeNonBipartiteFactor {
 		t.Fatal("nonbip mode wrong")
 	}
-	if _, err := buildProduct("crown4", "bogus", 1); err == nil {
+	if _, err := buildProduct([]string{"crown4"}, "bogus", 1); err == nil {
 		t.Fatal("accepted bogus mode")
 	}
-	if _, err := buildProduct("nope", "selfloop", 1); err == nil {
+	if _, err := buildProduct([]string{"nope"}, "selfloop", 1); err == nil {
 		t.Fatal("accepted bogus factor")
+	}
+}
+
+func TestBuildProductChain(t *testing.T) {
+	p, err := buildProduct([]string{"crown4", "path3", "path2"}, "selfloop", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 4 {
+		t.Fatalf("chain arity = %d, want 4", p.Arity())
+	}
+	if p.N() != 8*8*3*2 {
+		t.Fatalf("chain N = %d, want %d", p.N(), 8*8*3*2)
+	}
+}
+
+func TestFactorChainFlag(t *testing.T) {
+	var fc factorChain
+	for _, v := range []string{"crown4", "path3"} {
+		if err := fc.Set(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fc.orDefault("unicode"); len(got) != 2 || got[0] != "crown4" || got[1] != "path3" {
+		t.Fatalf("factorChain = %v", got)
+	}
+	var empty factorChain
+	if got := empty.orDefault("unicode"); len(got) != 1 || got[0] != "unicode" {
+		t.Fatalf("empty factorChain default = %v", got)
 	}
 }

@@ -79,6 +79,59 @@ func TestAuditCleanRun(t *testing.T) {
 	}
 }
 
+// chainProducts builds k >= 2 factor chains in both modes, so the audit
+// suite exercises the folded degree-sum identity and the digit-based
+// neighborhood enumeration rather than the two-factor special case.
+func chainProducts(t *testing.T) map[string]*core.Product {
+	t.Helper()
+	p1, err := core.NewChain(gen.Petersen(), core.ModeNonBipartiteFactor,
+		gen.Crown(3).Graph, gen.Path(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.NewChain(gen.Crown(3).Graph, core.ModeSelfLoopFactor,
+		gen.Crown(3).Graph, gen.Path(2), gen.Cycle(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*core.Product{"mode1_k2": p1, "mode2_k3": p2}
+}
+
+func TestAuditChainCleanRun(t *testing.T) {
+	for name, p := range chainProducts(t) {
+		t.Run(name, func(t *testing.T) {
+			a := New(p, Options{SampleEvery: 1})
+			streamInto(t, p, a, 3)
+			r := a.Finalize()
+			if !r.OK() {
+				t.Fatalf("clean chain run reported violations: %v", r.Violations)
+			}
+			// degree_sum, four_dual, stream.count, stream.membership, spot —
+			// and nothing else: the Thm. 7 community checks are two-factor
+			// only and must be skipped for chains, even in mode (ii).
+			if r.Checks != 5 {
+				t.Errorf("Checks = %d, want 5 (community checks must not run on a chain)", r.Checks)
+			}
+		})
+	}
+}
+
+func TestChainBruteForceMatchesTheorem(t *testing.T) {
+	for name, p := range chainProducts(t) {
+		t.Run(name, func(t *testing.T) {
+			for v := 0; v < p.N(); v++ {
+				got, inBudget := bruteForceFourCyclesAt(p, v, 1<<22)
+				if !inBudget {
+					continue
+				}
+				if want := p.VertexFourCyclesAt(v); got != want {
+					t.Fatalf("vertex %d: brute force %d, Thm. 3/4 fold %d", v, got, want)
+				}
+			}
+		})
+	}
+}
+
 func TestAuditDetectsDroppedEdges(t *testing.T) {
 	p := products(t)["mode1"]
 	a := New(p, Options{})

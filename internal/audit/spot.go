@@ -72,20 +72,39 @@ func bruteForceFourCyclesAt(p *core.Product, v int, budget int64) (count int64, 
 	return count, true
 }
 
-// productNeighbors enumerates N_C(v) = N_M(i) × N_B(k) for v = (i,k),
-// with M = A (mode i) or A+I (mode ii), straight from the factor
-// adjacency lists.
+// productNeighbors enumerates N_{C_K}(v) straight from the factor
+// adjacency lists, one chain level at a time: for v = (p, k) with p a
+// C_{t-1} vertex and k a B_t digit,
+//
+//	N_{C_t}(p,k) = N_{M_t}(p) × N_{B_t}(k),
+//
+// where M_1 = A (mode i) or A+I (mode ii), and M_t = C_{t-1}+I for
+// t ≥ 2, so the prefix neighborhood is N_{C_{t-1}}(p) ∪ {p}.
 func productNeighbors(p *core.Product, v int) []int {
-	i, k := p.PairOf(v)
-	ja := p.FactorA().G.Neighbors(i)
-	if p.Mode() == core.ModeSelfLoopFactor {
-		ja = append(append(make([]int, 0, len(ja)+1), ja...), i)
+	return chainNeighbors(p, len(p.Factors())-1, v)
+}
+
+// chainNeighbors returns N_{C_t}(v) for the length-t prefix chain
+// C_t = M₀ ⊗ B_1 ⊗ … ⊗ B_t (t ≥ 1), with vertices numbered in that
+// prefix's own mixed radix.
+func chainNeighbors(p *core.Product, t, v int) []int {
+	fs := p.Factors()
+	b := fs[t]
+	pv, k := v/b.N(), v%b.N()
+	var jp []int
+	if t == 1 {
+		jp = fs[0].G.Neighbors(pv)
+		if p.Mode() == core.ModeSelfLoopFactor {
+			jp = append(append(make([]int, 0, len(jp)+1), jp...), pv)
+		}
+	} else {
+		jp = append(chainNeighbors(p, t-1, pv), pv)
 	}
-	lb := p.FactorB().G.Neighbors(k)
-	out := make([]int, 0, len(ja)*len(lb))
-	for _, j := range ja {
+	lb := b.G.Neighbors(k)
+	out := make([]int, 0, len(jp)*len(lb))
+	for _, j := range jp {
 		for _, l := range lb {
-			out = append(out, p.IndexOf(j, l))
+			out = append(out, j*b.N()+l)
 		}
 	}
 	return out

@@ -125,6 +125,9 @@ func NewProductCommunity(p *core.Product, sa, sb *Set) (*ProductCommunity, error
 	if p.Mode() != core.ModeSelfLoopFactor {
 		return nil, fmt.Errorf("community: Thm. 7 is stated for C = (A+I_A) ⊗ B (mode (ii))")
 	}
+	if p.Arity() != 2 {
+		return nil, fmt.Errorf("community: Thm. 7 is stated for a two-factor product; this chain has arity %d", p.Arity())
+	}
 	if sa.B.N() != p.FactorA().N() {
 		return nil, fmt.Errorf("community: S_A lives on a %d-vertex graph, factor A has %d", sa.B.N(), p.FactorA().N())
 	}

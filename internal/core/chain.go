@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"kronbip/internal/graph"
 )
 
@@ -18,50 +16,19 @@ import (
 // "small seed, huge graph" shape of the prior Kronecker ground-truth work
 // the paper extends.
 //
-// Intermediate products are materialized (their size is the product of the
-// factor sizes, so chains should use small factors), but the returned
-// Product still answers every ground-truth query about the FINAL level in
-// closed form from its two effective factors.
+// Nothing is materialized: the returned Product is the chained type
+// itself, answering every ground-truth query about the final level in
+// closed form from O(Σ factor sizes) state, and streaming the final
+// level's edges directly from the mixed-radix layout.  (Materialize
+// remains available as the explicit, memory-hungry validation oracle.)
+//
+// Chain is now an alias of NewChain, kept for its historical name.
 func Chain(a *graph.Graph, mode Mode, bs ...*graph.Graph) (*Product, error) {
-	if len(bs) == 0 {
-		return nil, fmt.Errorf("core: chain needs at least one B factor")
-	}
-	p, err := New(a, bs[0], mode)
-	if err != nil {
-		return nil, fmt.Errorf("core: chain level 1: %w", err)
-	}
-	for lvl, b := range bs[1:] {
-		left, err := p.Materialize(0)
-		if err != nil {
-			return nil, fmt.Errorf("core: chain level %d materialize: %w", lvl+2, err)
-		}
-		p, err = New(left, b, ModeSelfLoopFactor)
-		if err != nil {
-			return nil, fmt.Errorf("core: chain level %d: %w", lvl+2, err)
-		}
-	}
-	return p, nil
+	return NewChain(a, mode, bs...)
 }
 
 // ChainRelaxed is Chain without the connectivity premises (factors may be
 // disconnected); every counting formula remains exact.
 func ChainRelaxed(a *graph.Graph, mode Mode, bs ...*graph.Graph) (*Product, error) {
-	if len(bs) == 0 {
-		return nil, fmt.Errorf("core: chain needs at least one B factor")
-	}
-	p, err := NewRelaxed(a, bs[0], mode)
-	if err != nil {
-		return nil, fmt.Errorf("core: chain level 1: %w", err)
-	}
-	for lvl, b := range bs[1:] {
-		left, err := p.Materialize(0)
-		if err != nil {
-			return nil, fmt.Errorf("core: chain level %d materialize: %w", lvl+2, err)
-		}
-		p, err = NewRelaxed(left, b, ModeSelfLoopFactor)
-		if err != nil {
-			return nil, fmt.Errorf("core: chain level %d: %w", lvl+2, err)
-		}
-	}
-	return p, nil
+	return NewChainRelaxed(a, mode, bs...)
 }

@@ -28,24 +28,29 @@ func (p *Product) EdgeClusteringAt(v, w int) (float64, error) {
 //
 // for a mode-(i) product edge {v,w}, together with ψ itself.  Thm. 6
 // requires all four factor degrees ≥ 2; the bound is reported as 0 (trivial)
-// otherwise.  For mode-(ii) products the theorem does not apply and an
+// otherwise.  The theorem is stated for a single two-factor product: for
+// mode-(ii) products and for chains of arity > 2 it does not apply and an
 // error is returned.
 func (p *Product) ClusteringLawBound(v, w int) (bound, psi float64, err error) {
 	if p.mode != ModeNonBipartiteFactor {
 		return 0, 0, fmt.Errorf("core: Thm. 6 is stated for C = A ⊗ B (mode (i)) only")
+	}
+	if p.Arity() != 2 {
+		return 0, 0, fmt.Errorf("core: Thm. 6 is stated for a two-factor product; this chain has arity %d", p.Arity())
 	}
 	if !p.HasEdge(v, w) {
 		return 0, 0, fmt.Errorf("core: {%d,%d} is not an edge of the product", v, w)
 	}
 	i, k := p.PairOf(v)
 	j, l := p.PairOf(w)
+	b := p.bs[0]
 	di, dj := p.a.D[i], p.a.D[j]
-	dk, dl := p.b.D[k], p.b.D[l]
+	dk, dl := b.D[k], b.D[l]
 	if di < 2 || dj < 2 || dk < 2 || dl < 2 {
 		return 0, 0, nil
 	}
 	gammaA := float64(p.a.Sq.At(i, j)) / float64((di-1)*(dj-1))
-	gammaB := float64(p.b.Sq.At(k, l)) / float64((dk-1)*(dl-1))
+	gammaB := float64(b.Sq.At(k, l)) / float64((dk-1)*(dl-1))
 	psi = float64((di-1)*(dk-1)) * float64((dj-1)*(dl-1)) /
 		(float64(di*dk-1) * float64(dj*dl-1))
 	return psi * gammaA * gammaB, psi, nil

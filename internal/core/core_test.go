@@ -540,7 +540,7 @@ func TestPrintedThm4SignErratum(t *testing.T) {
 	printed := make([]int64, p.N())
 	for v := range printed {
 		i, k := p.PairOf(v)
-		diag4 := p.diag4A(i) * p.b.diag4(k)
+		diag4 := p.diag4A(i) * p.FactorB().diag4(k)
 		d := p.DegreeAt(v)
 		w2 := p.TwoWalksAt(v)
 		printed[v] = (diag4 - d - w2 + d*d) / 2

@@ -11,7 +11,7 @@ import (
 // Distance ground truth.  The paper notes (§I, citing the prior Kronecker
 // ground-truth work) that formulas for degree, diameter and eccentricity
 // "carry over directly"; this file implements them exactly for both
-// Assumption 1 modes.
+// Assumption 1 modes, composed across factor chains.
 //
 // The key fact: (C^h)_{pq} = (M^h)_{ij}·(B^h)_{kl}, and a walk of length h
 // and parity h mod 2 can always be padded by retracing edges (+2 hops), so
@@ -24,10 +24,17 @@ import (
 //	mode (ii), C = (A+I) ⊗ B: (M^h)_{ij} > 0 ⇔ h ≥ hops_A(i,j) (laziness
 //	                        erases parity), so hops_C is max(hops_A, hops_B)
 //	                        rounded up to the parity of hops_B(k,l).
+//
+// Chain levels t >= 2 are mode-(ii) products with the previous level as A,
+// so the mode-(ii) rule folds upward: the running scalar plays hops_A, the
+// level's own BFS table plays hops_B.  The fold step
+// h ↦ roundUp(max(h, hB), parity(hB)) is nondecreasing in h, which is what
+// lets eccentricity and diameter fold the per-level maxima as scalars
+// instead of enumerating the product's vertex set.
 type distanceIndex struct {
 	parityA []graph.ParityDistances // mode (i): even/odd walk lengths in A
 	hopsA   [][]int                 // mode (ii): plain BFS distances in A
-	hopsB   [][]int                 // plain BFS distances in B
+	hopsB   [][][]int               // per chain level: plain BFS distances in B_t
 }
 
 var errRelaxedDistances = fmt.Errorf("core: eccentricity/diameter ground truth requires the strict Assumption 1 premises (construct with New/NewWithParts); relaxed products may be disconnected")
@@ -38,7 +45,7 @@ func (p *Product) distances() *distanceIndex {
 }
 
 // distancesContext builds (or returns) the factor BFS tables, checking ctx
-// between per-vertex BFS runs so a SIGINT or deadline aborts the O(n·m)
+// between per-vertex BFS runs so a SIGINT or deadline aborts the O(Σ n·m)
 // precompute promptly.  A cancelled build leaves no partial state; the next
 // call rebuilds from scratch.
 func (p *Product) distancesContext(ctx context.Context) (*distanceIndex, error) {
@@ -48,12 +55,15 @@ func (p *Product) distancesContext(ctx context.Context) (*distanceIndex, error) 
 		return p.dist, nil
 	}
 	defer obs.Timed("core.distances")()
-	idx := &distanceIndex{hopsB: make([][]int, p.b.N())}
-	for k := 0; k < p.b.N(); k++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	idx := &distanceIndex{hopsB: make([][][]int, len(p.bs))}
+	for t, f := range p.bs {
+		idx.hopsB[t] = make([][]int, f.N())
+		for k := 0; k < f.N(); k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			idx.hopsB[t][k] = f.G.BFS(k)
 		}
-		idx.hopsB[k] = p.b.G.BFS(k)
 	}
 	if p.mode == ModeNonBipartiteFactor {
 		if err := ctx.Err(); err != nil {
@@ -73,8 +83,24 @@ func (p *Product) distancesContext(ctx context.Context) (*distanceIndex, error) 
 	return idx, nil
 }
 
+// checkDistanceFactors enforces the preconditions under which the
+// eccentricity/diameter folds are exact: strict premises (connectivity) and
+// every B_t non-trivial (a single-vertex B_t has no edges, making the whole
+// product edgeless).
+func (p *Product) checkDistanceFactors() error {
+	if !p.strict {
+		return errRelaxedDistances
+	}
+	for t, f := range p.bs {
+		if f.N() < 2 {
+			return fmt.Errorf("core: factor %s has fewer than 2 vertices; the product has no edges", bName(t, len(p.bs)))
+		}
+	}
+	return nil
+}
+
 // HopsAt returns the exact shortest-path distance between product vertices
-// v and w, computed from factor BFS tables in O(1) after an O(n·m)
+// v and w, computed from factor BFS tables in O(K) after an O(Σ n·m)
 // per-factor precomputation.  ok is false when w is unreachable from v.
 func (p *Product) HopsAt(v, w int) (hops int, ok bool) {
 	hops, ok, _ = p.HopsAtContext(context.Background(), v, w)
@@ -92,35 +118,71 @@ func (p *Product) HopsAtContext(ctx context.Context, v, w int) (hops int, ok boo
 	if err != nil {
 		return 0, false, err
 	}
-	i, k := p.PairOf(v)
-	j, l := p.PairOf(w)
-	hB := idx.hopsB[k][l]
+	var bufV, bufW [digitBuf]int
+	dv := p.rad.AppendDecode(bufV[:0], v)
+	dw := p.rad.AppendDecode(bufW[:0], w)
+	// Level 1 is the requested mode.
+	hB := idx.hopsB[0][dv[1]][dw[1]]
 	if hB == graph.Unreached {
 		return 0, false, nil
 	}
 	t := hB % 2
+	var h int
 	if p.mode == ModeNonBipartiteFactor {
-		wA := idx.parityA[i].MinWalk(j, t)
+		wA := idx.parityA[dv[0]].MinWalk(dw[0], t)
 		if wA == graph.Unreached {
 			return 0, false, nil
 		}
-		if wA > hB {
-			return wA, true, nil
-		}
-		return hB, true, nil
-	}
-	hA := idx.hopsA[i][j]
-	if hA == graph.Unreached {
-		return 0, false, nil
-	}
-	h := hA
-	if hB > h {
 		h = hB
+		if wA > h {
+			h = wA
+		}
+	} else {
+		hA := idx.hopsA[dv[0]][dw[0]]
+		if hA == graph.Unreached {
+			return 0, false, nil
+		}
+		h = hB
+		if hA > h {
+			h = hA
+		}
+		if h%2 != t {
+			h++
+		}
 	}
-	if h%2 != t {
-		h++
+	// Levels u >= 2 are mode-(ii) steps with the running h as hops_A.
+	for u := 2; u <= len(p.bs); u++ {
+		hBu := idx.hopsB[u-1][dv[u]][dw[u]]
+		if hBu == graph.Unreached {
+			return 0, false, nil
+		}
+		if hBu > h {
+			h = hBu
+		} else if h%2 != hBu%2 {
+			h++
+		}
 	}
 	return h, true, nil
+}
+
+// foldLevelEcc applies one chain level (u >= 2) to a running eccentricity:
+// the maximum over targets l of roundUp(max(h, hops_{B_u}(k,l)),
+// parity(hops_{B_u}(k,l))).  Monotonicity of the fold step in h makes the
+// scalar h — the max over all shorter-prefix targets — sufficient.
+func foldLevelEcc(h int, hopsRow []int) int {
+	out := 0
+	for _, d := range hopsRow {
+		hv := h
+		if d > hv {
+			hv = d
+		} else if hv%2 != d%2 {
+			hv++
+		}
+		if hv > out {
+			out = hv
+		}
+	}
+	return out
 }
 
 // EccentricityAt returns the exact eccentricity of product vertex v — the
@@ -128,20 +190,19 @@ func (p *Product) HopsAtContext(ctx context.Context, v, w int) (hops int, ok boo
 // It requires the strict Assumption 1 premises (Thm. 1/2), under which the
 // product is connected.
 func (p *Product) EccentricityAt(v int) (int, error) {
-	if !p.strict {
-		return 0, errRelaxedDistances
-	}
-	if p.b.N() < 2 {
-		return 0, fmt.Errorf("core: factor B has fewer than 2 vertices; the product has no edges")
+	if err := p.checkDistanceFactors(); err != nil {
+		return 0, err
 	}
 	idx := p.distances()
-	i, k := p.PairOf(v)
+	var buf [digitBuf]int
+	dv := p.rad.AppendDecode(buf[:0], v)
+	i, k := dv[0], dv[1]
 	ecc := 0
 	for t := 0; t < 2; t++ {
-		// Largest hops_B(k,l) among l with parity t; both parities are
-		// realized for every k in a connected bipartite B with >= 2 vertices.
+		// Largest hops_B1(k,l) among l with parity t; both parities are
+		// realized for every k in a connected bipartite B₁ with >= 2 vertices.
 		maxB := -1
-		for _, d := range idx.hopsB[k] {
+		for _, d := range idx.hopsB[0][k] {
 			if d != graph.Unreached && d%2 == t && d > maxB {
 				maxB = d
 			}
@@ -190,11 +251,14 @@ func (p *Product) EccentricityAt(v int) (int, error) {
 			ecc = h
 		}
 	}
+	for u := 2; u <= len(p.bs); u++ {
+		ecc = foldLevelEcc(ecc, idx.hopsB[u-1][dv[u]])
+	}
 	return ecc, nil
 }
 
 // Diameter returns the exact diameter of the product from factor
-// statistics, in O(n_A·m_A + n_B·m_B) total.  Requires strict premises.
+// statistics, in O(Σ n·m) total.  Requires strict premises.
 func (p *Product) Diameter() (int, error) {
 	return p.DiameterContext(context.Background())
 }
@@ -203,11 +267,8 @@ func (p *Product) Diameter() (int, error) {
 // (the dominant cost) checks ctx between per-vertex BFS runs and aborts
 // with ctx.Err() on cancellation.
 func (p *Product) DiameterContext(ctx context.Context) (int, error) {
-	if !p.strict {
-		return 0, errRelaxedDistances
-	}
-	if p.b.N() < 2 {
-		return 0, fmt.Errorf("core: factor B has fewer than 2 vertices; the product has no edges")
+	if err := p.checkDistanceFactors(); err != nil {
+		return 0, err
 	}
 	idx, err := p.distancesContext(ctx)
 	if err != nil {
@@ -216,8 +277,8 @@ func (p *Product) DiameterContext(ctx context.Context) (int, error) {
 	diam := 0
 	for t := 0; t < 2; t++ {
 		maxB := -1
-		for k := range idx.hopsB {
-			for _, d := range idx.hopsB[k] {
+		for k := range idx.hopsB[0] {
+			for _, d := range idx.hopsB[0][k] {
 				if d != graph.Unreached && d%2 == t && d > maxB {
 					maxB = d
 				}
@@ -260,6 +321,17 @@ func (p *Product) DiameterContext(ctx context.Context) (int, error) {
 		if h > diam {
 			diam = h
 		}
+	}
+	// Levels u >= 2: max over source digit k and target digit l of the
+	// mode-(ii) fold step applied to the running diameter.
+	for u := 2; u <= len(p.bs); u++ {
+		level := 0
+		for k := range idx.hopsB[u-1] {
+			if e := foldLevelEcc(diam, idx.hopsB[u-1][k]); e > level {
+				level = e
+			}
+		}
+		diam = level
 	}
 	return diam, nil
 }

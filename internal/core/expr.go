@@ -3,44 +3,60 @@ package core
 import "kronbip/internal/grb"
 
 // VertexFourCyclesExpr returns the Thm. 3/4 per-vertex 4-cycle vector as a
-// lazy grb expression over the factor statistics:
+// lazy grb expression over the factor statistics, folded across the chain:
 //
-//	2·s_C = diag4_M ⊗ diag4_B − (d_M ⊗ d_B)∘(d_M ⊗ d_B) − w2_M ⊗ w2_B + d_M ⊗ d_B.
+//	2·s_C = diag4_C − d_C∘d_C − w2_C + d_C,
+//
+// where each of the four operand vectors is built level by level — the +I
+// lift is the expression rewrite
+//
+//	diag4 ↦ diag4 + 6d + 1,  w2 ↦ w2 + 2d + 1,  d∘d ↦ d∘d + 2d + 1,  d ↦ d + 1
+//
+// (ShiftExpr/ScaleExpr nodes over the running d expression) and each ⊗B_t
+// step is a KronExpr with the factor's own statistic leaf.
 //
 // The expression is the GraphBLAS non-blocking-mode view of the same
-// ground truth: At(p) samples one vertex in O(1) without materializing
+// ground truth: At(p) samples one vertex in O(K) without materializing
 // anything, and Sum()/4 reproduces GlobalFourCycles via the fused
-// Σ(x⊗y) = Σx·Σy reduction.  Note the expression yields 2·s_p; the halving
-// is left to the caller because integer expressions have no division node
-// (see VertexFourCyclesAt for the eager, already-halved form).
+// Σ(x⊗y) = Σx·Σy reduction (every node here — Kron, Add, Sub, Scale,
+// Shift — has a sublinear Sum rule).  Note the expression yields 2·s_p;
+// the halving is left to the caller because integer expressions have no
+// division node (see VertexFourCyclesAt for the eager, already-halved
+// form).
 func (p *Product) VertexFourCyclesExpr() grb.Expr[int64] {
+	// Root-level leaves, already mode-lifted: d_{M₀}, (d∘d)_{M₀}, w2_{M₀},
+	// diag4_{M₀}.
+	da := p.degA()
 	d4a := make([]int64, p.a.N())
 	w2a := make([]int64, p.a.N())
 	for i := range d4a {
 		d4a[i] = p.diag4A(i)
 		w2a[i] = p.w2A(i)
 	}
-	d4b := make([]int64, p.b.N())
-	for k := range d4b {
-		d4b[k] = p.b.diag4(k)
+	dE := grb.LeafExpr(da)
+	d2E := grb.LeafExpr(grb.HadamardVec(da, da))
+	w2E := grb.LeafExpr(w2a)
+	d4E := grb.LeafExpr(d4a)
+	for u, f := range p.bs {
+		if u > 0 {
+			// The +I lift between chain levels, as expression nodes over
+			// the pre-lift degree expression.  dE shifts last: the other
+			// three rewrites consume the unlifted d.
+			d4E = grb.AddExpr(d4E, grb.ShiftExpr(grb.ScaleExpr[int64](6, dE), 1))
+			w2E = grb.AddExpr(w2E, grb.ShiftExpr(grb.ScaleExpr[int64](2, dE), 1))
+			d2E = grb.AddExpr(d2E, grb.ShiftExpr(grb.ScaleExpr[int64](2, dE), 1))
+			dE = grb.ShiftExpr(dE, 1)
+		}
+		fd4 := make([]int64, f.N())
+		for x := range fd4 {
+			fd4[x] = f.diag4(x)
+		}
+		// d_C ∘ d_C distributes over ⊗ (Prop. 2(e)), keeping the squared
+		// term a Kronecker node so Sum() stays sublinear.
+		d4E = grb.KronExpr(d4E, grb.LeafExpr(fd4))
+		w2E = grb.KronExpr(w2E, grb.LeafExpr(f.W2))
+		d2E = grb.KronExpr(d2E, grb.LeafExpr(grb.HadamardVec(f.D, f.D)))
+		dE = grb.KronExpr(dE, grb.LeafExpr(f.D))
 	}
-	da := p.degA()
-	// d_C ∘ d_C rewrites as (d_M∘d_M) ⊗ (d_B∘d_B) by Hadamard–Kronecker
-	// distributivity (Prop. 2(e)), keeping every term a Kronecker node so
-	// that Sum() stays sublinear.
-	dC := grb.KronExpr(grb.LeafExpr(da), grb.LeafExpr(p.b.D))
-	dC2 := grb.KronExpr(
-		grb.LeafExpr(grb.HadamardVec(da, da)),
-		grb.LeafExpr(grb.HadamardVec(p.b.D, p.b.D)),
-	)
-	return grb.AddExpr(
-		grb.SubExpr(
-			grb.SubExpr(
-				grb.KronExpr(grb.LeafExpr(d4a), grb.LeafExpr(d4b)),
-				dC2,
-			),
-			grb.KronExpr(grb.LeafExpr(w2a), grb.LeafExpr(p.b.W2)),
-		),
-		dC,
-	)
+	return grb.AddExpr(grb.SubExpr(grb.SubExpr(d4E, d2E), w2E), dE)
 }

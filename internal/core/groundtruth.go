@@ -3,7 +3,10 @@ package core
 import "fmt"
 
 // This file implements the paper's ground-truth formulas (Thm. 3–5) plus
-// the derived mode-(ii) edge formula and sublinear global counts.
+// the derived mode-(ii) edge formula and sublinear global counts, composed
+// across factor chains: each chain level C_t = (C_{t-1}+I) ⊗ B_t applies
+// the same mode-(ii) algebra with the (never materialized) prefix as its
+// left factor, so every statistic folds level by level in O(K).
 //
 // Erratum note: the printed statement of Thm. 4 carries the d_C and d_C²
 // terms with swapped signs relative to the paper's own proof (which expands
@@ -14,26 +17,25 @@ import "fmt"
 // proof-consistent forms; the test suite validates them against three
 // independent brute-force counters.
 
-// VertexFourCyclesAt returns s_p, the number of 4-cycles through product
-// vertex p, in O(1) from factor statistics (Thm. 3 / Thm. 4):
+// VertexFourCyclesAt returns s_v, the number of 4-cycles through product
+// vertex v, in O(K) from factor statistics (Thm. 3 / Thm. 4, applied per
+// chain level):
 //
-//	s_p = ½ ( diag(C⁴)_p − d_p² − w⁽²⁾_p + d_p ).
+//	s_v = ½ ( diag(C⁴)_v − d_v² − w⁽²⁾_v + d_v ).
 func (p *Product) VertexFourCyclesAt(v int) int64 {
-	i, k := p.PairOf(v)
-	diag4 := p.diag4A(i) * p.b.diag4(k)
-	d := p.DegreeAt(v)
-	w2 := p.TwoWalksAt(v)
-	s2 := diag4 - d*d - w2 + d
-	return s2 / 2
+	d, w2, d4 := p.vertexStats(v)
+	return (d4 - d*d - w2 + d) / 2
 }
 
-// diag4A returns diag(M⁴)_i for the effective left factor M:
+// diag4A returns diag(M₀⁴)_i for the effective root factor M₀:
 //
 //	mode (i):  diag(A⁴)_i  = 2s_i + d_i² + w⁽²⁾_i − d_i
 //	mode (ii): diag((A+I)⁴)_i = diag(A⁴)_i + 6d_i + 1
 //	                          = 2s_i + d_i² + w⁽²⁾_i + 5d_i + 1
 //
 // (mode (ii) uses diag(A³) = diag(A) = 0 for bipartite loop-free A).
+// The same +6d+1 shift is the per-level lift vertexStats applies between
+// chain levels.
 func (p *Product) diag4A(i int) int64 {
 	d4 := p.a.diag4(i)
 	if p.mode == ModeSelfLoopFactor {
@@ -43,66 +45,74 @@ func (p *Product) diag4A(i int) int64 {
 }
 
 // VertexFourCycles returns the full vector s_C via the Kronecker vector
-// identity of Thm. 3/4 — four vector Kronecker products, O(|V_C|) time.
+// identity of Thm. 3/4 folded across the chain — O(|V_C|) time, the
+// intermediate level vectors growing geometrically up to |V_C|.
 func (p *Product) VertexFourCycles() []int64 {
-	n := p.N()
-	out := make([]int64, n)
-	nb := p.b.N()
-	// Precompute per-factor slots once; the inner loop is then pure
-	// arithmetic (this is the linear-time local ground truth of §I).
-	d4a := make([]int64, p.a.N())
-	w2a := make([]int64, p.a.N())
-	da := p.degA()
-	for i := range d4a {
-		d4a[i] = p.diag4A(i)
-		w2a[i] = p.w2A(i)
+	// Fold the (d, d², w⁽²⁾, diag⁴) vectors level by level; the final
+	// combine is then pure arithmetic per vertex.
+	dv := append([]int64(nil), p.a.D...)
+	wv := append([]int64(nil), p.a.W2...)
+	d4v := make([]int64, p.a.N())
+	for i := range d4v {
+		d4v[i] = p.a.diag4(i)
 	}
-	d4b := make([]int64, nb)
-	for k := range d4b {
-		d4b[k] = p.b.diag4(k)
+	lift := p.mode == ModeSelfLoopFactor
+	for _, f := range p.bs {
+		if lift {
+			for i := range dv {
+				d4v[i] += 6*dv[i] + 1
+				wv[i] += 2*dv[i] + 1
+				dv[i]++
+			}
+		}
+		fd4 := make([]int64, f.N())
+		for x := range fd4 {
+			fd4[x] = f.diag4(x)
+		}
+		dv = kronFold(dv, f.D)
+		wv = kronFold(wv, f.W2)
+		d4v = kronFold(d4v, fd4)
+		lift = true
 	}
-	for i := 0; i < p.a.N(); i++ {
-		base := i * nb
-		for k := 0; k < nb; k++ {
-			d := da[i] * p.b.D[k]
-			w2 := w2a[i] * p.b.W2[k]
-			out[base+k] = (d4a[i]*d4b[k] - d*d - w2 + d) / 2
+	out := make([]int64, p.N())
+	for v := range out {
+		d := dv[v]
+		out[v] = (d4v[v] - d*d - wv[v] + d) / 2
+	}
+	return out
+}
+
+// kronFold is the Kronecker vector product x ⊗ y written locally so the
+// ground-truth folds do not depend on grb's allocation behavior.
+func kronFold(x, y []int64) []int64 {
+	out := make([]int64, len(x)*len(y))
+	idx := 0
+	for _, a := range x {
+		for _, b := range y {
+			out[idx] = a * b
+			idx++
 		}
 	}
 	return out
 }
 
 // GlobalFourCycles returns the total number of distinct 4-cycles in C in
-// O(n_A + n_B) time given the factor statistics: every term of Thm. 3/4 is
-// a Kronecker product of factor vectors, and Σ(x ⊗ y) = Σx · Σy, so the
-// sum of s_C — which is 4·□(C), each 4-cycle touching 4 vertices —
-// factorizes (the paper's "global scalar quantities are computed
-// sublinearly" claim).
+// O(Σ n_t) time given the factor statistics: every term of Thm. 3/4 is a
+// (chained) Kronecker product of factor vectors, and Σ(x ⊗ y) = Σx · Σy,
+// so the sum of s_C — which is 4·□(C), each 4-cycle touching 4 vertices —
+// factorizes level by level (the paper's "global scalar quantities are
+// computed sublinearly" claim).  The folded sums are fixed at
+// construction (computeGlobalSums).
 func (p *Product) GlobalFourCycles() int64 {
-	var sumD4A, sumD2A, sumW2A, sumDA int64
-	da := p.degA()
-	for i := 0; i < p.a.N(); i++ {
-		sumD4A += p.diag4A(i)
-		sumD2A += da[i] * da[i]
-		sumW2A += p.w2A(i)
-		sumDA += da[i]
-	}
-	var sumD4B, sumD2B, sumW2B, sumDB int64
-	for k := 0; k < p.b.N(); k++ {
-		sumD4B += p.b.diag4(k)
-		sumD2B += p.b.D[k] * p.b.D[k]
-		sumW2B += p.b.W2[k]
-		sumDB += p.b.D[k]
-	}
-	twiceSum := sumD4A*sumD4B - sumD2A*sumD2B - sumW2A*sumW2B + sumDA*sumDB
+	twiceSum := p.sumDiag4 - p.sumD2 - p.sumW2 + p.sumD
 	return twiceSum / 8 // ½ for s_C, then Σs_C = 4·□(C)
 }
 
-// EdgeFourCyclesAt returns ◊_pq, the number of 4-cycles through product
-// edge {v,w}, in O(log d) (the factor-edge lookups).  It errors if {v,w}
-// is not an edge of C.
+// EdgeFourCyclesAt returns ◊_vw, the number of 4-cycles through product
+// edge {v,w}, in O(K·log d) (the factor-edge lookups).  It errors if
+// {v,w} is not an edge of C.
 //
-// Mode (i), from the Thm. 5 proof:
+// Mode (i), K = 1, from the Thm. 5 proof:
 //
 //	◊_pq = (◊_ij + d_i + d_j − 1)(◊_kl + d_k + d_l − 1) − d_i·d_k − d_j·d_l + 1.
 //
@@ -112,24 +122,67 @@ func (p *Product) GlobalFourCycles() int64 {
 //	◊_pq = m3·(◊_kl + d_k + d_l − 1) − (d_i+1)d_k − (d_j+1)d_l + 1,
 //	m3   = ◊_ij + d_i + d_j + 2   (i ≠ j, an A-edge)
 //	m3   = 3d_i + 1               (i = j, the self loop).
+//
+// Chains iterate the same step upward from the anchor level (the first
+// digit where the endpoints differ): each level's ◊ and endpoint degrees
+// produce the next level's 3-walk anchor m3 = ◊ + d_v + d_w − 1 + 3, the
+// +3 being the 3A term of ((C+I)³ ∘ (C+I)) for bipartite loop-free C.
 func (p *Product) EdgeFourCyclesAt(v, w int) (int64, error) {
 	if !p.HasEdge(v, w) {
 		return 0, fmt.Errorf("core: {%d,%d} is not an edge of the product", v, w)
 	}
-	i, k := p.PairOf(v)
-	j, l := p.PairOf(w)
-	b3 := p.b.walk3(k, l) // ◊_kl + d_k + d_l − 1
-	var m3 int64
-	switch {
-	case i == j:
-		m3 = 3*p.a.D[i] + 1
-	default:
-		m3 = p.a.walk3(i, j)
-		if p.mode == ModeSelfLoopFactor {
-			m3 += 3 // the +3A term of M³∘M
-		}
+	k := len(p.bs)
+	var bufV, bufW [digitBuf]int
+	dv := p.rad.AppendDecode(bufV[:0], v)
+	dw := p.rad.AppendDecode(bufW[:0], w)
+	anchor := 0
+	for dv[anchor] == dw[anchor] {
+		anchor++ // HasEdge guarantees a differing digit exists
 	}
-	return m3*b3 - p.DegreeAt(v) - p.DegreeAt(w) + 1, nil
+	// m3 is the (M³∘M) entry at the anchor; mv/mw are the M-level degrees
+	// of the two prefixes entering the first folded level.
+	var m3, mv, mw int64
+	start := anchor
+	if anchor == 0 {
+		m3 = p.a.walk3(dv[0], dw[0])
+		mv, mw = p.a.D[dv[0]], p.a.D[dw[0]]
+		if p.mode == ModeSelfLoopFactor {
+			m3 += 3
+			mv++
+			mw++
+		}
+		start = 1
+	} else {
+		// Self-loop anchor: both prefixes coincide through level anchor−1.
+		// Fold that prefix's chain degree, then M = prefix+I gives
+		// m3 = 3d+1 and degree d+1.
+		dpre := p.a.D[dv[0]]
+		lift := p.mode == ModeSelfLoopFactor
+		for u := 1; u < anchor; u++ {
+			if lift {
+				dpre++
+			}
+			dpre *= p.bs[u-1].D[dv[u]]
+			lift = true
+		}
+		m3 = 3*dpre + 1
+		mv, mw = dpre+1, dpre+1
+	}
+	var sq int64
+	for u := start; u <= k; u++ {
+		f := p.bs[u-1]
+		if u > start {
+			// Climb one level: m3 = ◊ + d_v + d_w − 1 + 3 with the
+			// previous level's ◊ and raw degrees; mv/mw already carry the
+			// +1 lift, so the constants cancel.
+			m3 = sq + mv + mw
+		}
+		fv := mv * f.D[dv[u]]
+		fw := mw * f.D[dw[u]]
+		sq = m3*f.walk3(dv[u], dw[u]) - fv - fw + 1
+		mv, mw = fv+1, fw+1
+	}
+	return sq, nil
 }
 
 // EachEdgeFourCycle streams (v, w, ◊_vw) for every undirected product edge
@@ -146,27 +199,39 @@ func (p *Product) EachEdgeFourCycle(yield func(v, w int, squares int64) bool) {
 }
 
 // DegreeHistogram returns the exact degree distribution of the product —
-// degree → number of product vertices with that degree — computed from the
-// factor histograms in O(distinct_A · distinct_B): d_p = d_M(i)·d_B(k), so
-// the product histogram is the multiplicative convolution of the factor
-// histograms.  Another "sublinear ground truth" statistic: the product's
-// |V_C| never enters the computation.
+// degree → number of product vertices with that degree — as a K-fold
+// multiplicative convolution of the factor histograms with a +1 key shift
+// between levels (the +I lift): d_v = d_{M₀}(i)·∏(…+1)·d_{B_t}(k_t).
+// Cost is ∏ distinct-degree counts; the product's |V_C| never enters the
+// computation — another "sublinear ground truth" statistic.
 func (p *Product) DegreeHistogram() map[int64]int64 {
-	histA := map[int64]int64{}
-	for _, d := range p.degA() {
-		histA[d]++
+	hist := map[int64]int64{}
+	for _, d := range p.a.D {
+		hist[d]++
 	}
-	histB := map[int64]int64{}
-	for _, d := range p.b.D {
-		histB[d]++
-	}
-	out := make(map[int64]int64, len(histA)*len(histB))
-	for da, ca := range histA {
-		for db, cb := range histB {
-			out[da*db] += ca * cb
+	lift := p.mode == ModeSelfLoopFactor
+	for _, f := range p.bs {
+		if lift {
+			shifted := make(map[int64]int64, len(hist))
+			for d, c := range hist {
+				shifted[d+1] = c
+			}
+			hist = shifted
 		}
+		histB := map[int64]int64{}
+		for _, d := range f.D {
+			histB[d]++
+		}
+		next := make(map[int64]int64, len(hist)*len(histB))
+		for da, ca := range hist {
+			for db, cb := range histB {
+				next[da*db] += ca * cb
+			}
+		}
+		hist = next
+		lift = true
 	}
-	return out
+	return hist
 }
 
 // GlobalFourCyclesViaEdges recomputes □(C) from the edge stream:

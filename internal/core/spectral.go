@@ -22,9 +22,13 @@ import (
 // symmetric A the Perron root ρ(A) is the largest eigenvalue, so ρ(A)+1
 // dominates |λ+1| for every other eigenvalue λ ≥ −ρ(A).
 //
+// Chains iterate the mode-(ii) identity with the (never materialized)
+// previous level as A: ρ(C_t) = (ρ(C_{t-1})+1)·ρ(B_t).
+//
 // Factor spectral radii are computed by power iteration on the (small)
 // factors; the product's radius is then exact up to the factor iteration
-// tolerance — no product-sized linear algebra happens.
+// tolerance — no product-sized linear algebra happens regardless of the
+// chain length.
 
 // SpectralRadius returns ρ(C) via the factorization above.  tol is the
 // relative convergence tolerance of the factor power iterations (e.g.
@@ -38,18 +42,24 @@ func (p *Product) SpectralRadius(tol float64, maxIter int) (float64, error) {
 // on cancellation.
 func (p *Product) SpectralRadiusContext(ctx context.Context, tol float64, maxIter int) (float64, error) {
 	defer obs.Timed("core.spectral_radius")()
-	ra, err := powerIteration(ctx, p.a.G.Adjacency(), tol, maxIter)
+	r, err := powerIteration(ctx, p.a.G.Adjacency(), tol, maxIter)
 	if err != nil {
 		return 0, fmt.Errorf("core: factor A power iteration: %w", err)
 	}
-	rb, err := powerIteration(ctx, p.b.G.Adjacency(), tol, maxIter)
-	if err != nil {
-		return 0, fmt.Errorf("core: factor B power iteration: %w", err)
-	}
 	if p.mode == ModeSelfLoopFactor {
-		ra++
+		r++
 	}
-	return ra * rb, nil
+	for t, f := range p.bs {
+		if t > 0 {
+			r++ // the +I lift of chain level t
+		}
+		rb, err := powerIteration(ctx, f.G.Adjacency(), tol, maxIter)
+		if err != nil {
+			return 0, fmt.Errorf("core: factor %s power iteration: %w", bName(t, len(p.bs)), err)
+		}
+		r *= rb
+	}
+	return r, nil
 }
 
 // GraphSpectralRadius estimates the spectral radius of an explicit graph's

@@ -87,13 +87,11 @@ func shardEdgeCounters(n int) []*obs.Counter {
 	return grown
 }
 
-// numRows returns the sharding row count.
+// numRows returns the sharding row count: every term's rows, fixed (and
+// overflow-checked) at construction by computeLayout.  For K = 1 this is
+// |E_A| (+ n_A in mode (ii)), the historical layout.
 func (p *Product) numRows() int {
-	rows := p.a.G.NumEdges()
-	if p.mode == ModeSelfLoopFactor {
-		rows += p.a.N()
-	}
-	return rows
+	return p.termOff[len(p.termOff)-1]
 }
 
 // shardRange validates (shard, nshards) and returns the shard's half-open
@@ -158,11 +156,22 @@ func (p *Product) EachEdgeShardContext(ctx context.Context, shard, nshards int, 
 
 // streamRows walks rows [lo, hi) of the shard layout, yielding each product
 // edge; this is the allocation-free hot loop every streaming path shares.
-// The vertex arithmetic is IndexOf with n_B hoisted out of the loop.
+// Two-factor products (K = 1) take the historical specialized loop —
+// vertex arithmetic is IndexOf with n_B hoisted out — and chains walk the
+// mixed-radix decomposition recursively.  Both produce the same order for
+// K = 1.
 func (p *Product) streamRows(lo, hi int, yield func(v, w int) bool) {
+	if len(p.bs) == 1 {
+		p.streamRowsTwoFactor(lo, hi, yield)
+		return
+	}
+	p.streamRowsChain(lo, hi, yield)
+}
+
+func (p *Product) streamRowsTwoFactor(lo, hi int, yield func(v, w int) bool) {
 	ea := p.a.G.Edges()
-	eb := p.b.G.Edges()
-	nb := p.b.N()
+	eb := p.bs[0].G.Edges()
+	nb := p.bs[0].N()
 	for r := lo; r < hi; r++ {
 		if r < len(ea) {
 			au, av := ea[r].U*nb, ea[r].V*nb
@@ -193,21 +202,25 @@ func (p *Product) EachEdgeContext(ctx context.Context, yield func(v, w int) bool
 
 // ShardEdgeCount returns the number of undirected edges shard `shard` of
 // `nshards` will emit, without streaming.  Closed form on the row range:
-// rows below |E_A| are factor-edge rows emitting 2·|E_B| product edges,
-// the rest (mode (ii) only) are self-loop rows emitting |E_B| — so the
-// count is (2·edgeRows + selfRows)·|E_B|, O(1) instead of O(rows).
-// The row-count multiplier is bounded by 2·numRows(), so the arithmetic
-// overflows int64 no earlier than summing the per-row terms would.
+// every row of term t emits exactly termPer[t] product edges, so the
+// count is Σ_t overlap(shard, term t)·termPer[t] — O(K) terms and no
+// per-edge or per-row work at any chain length.  For K = 1 this is the
+// historical (2·edgeRows + selfRows)·|E_B|.  Row counts and per-row
+// multiplicities were overflow-checked against |E_C| at construction, so
+// the arithmetic here cannot wrap.
 func (p *Product) ShardEdgeCount(shard, nshards int) (int64, error) {
 	lo, hi, err := p.shardRange(shard, nshards)
 	if err != nil {
 		return 0, err
 	}
-	nea := p.a.G.NumEdges()
-	eb := int64(p.b.G.NumEdges())
-	edgeRows := int64(min(hi, nea) - min(lo, nea))
-	selfRows := int64(hi-lo) - edgeRows
-	return (2*edgeRows + selfRows) * eb, nil
+	var total int64
+	for t := 0; t < len(p.termOff)-1; t++ {
+		o := min(hi, p.termOff[t+1]) - max(lo, p.termOff[t])
+		if o > 0 {
+			total += int64(o) * p.termPer[t]
+		}
+	}
+	return total, nil
 }
 
 // StreamEdgesParallel streams all shards concurrently, delivering each

@@ -27,11 +27,18 @@ import (
 // streamRowsBatch walks rows [lo, hi) of the shard layout, filling buf
 // and flushing full batches to emit; buf must be empty with capacity
 // >= 2.  The final partial batch is emitted too.  Emitted slices are
-// reused between calls — consumers must not retain them.
+// reused between calls — consumers must not retain them.  Two-factor
+// products take the historical closure-free loop; chains walk the
+// mixed-radix decomposition (streamRowsBatchChain) with the same batch
+// discipline.
 func (p *Product) streamRowsBatch(lo, hi int, buf []exec.Edge, emit func(batch []exec.Edge) bool) {
+	if len(p.bs) > 1 {
+		p.streamRowsBatchChain(lo, hi, buf, emit)
+		return
+	}
 	ea := p.a.G.Edges()
-	eb := p.b.G.Edges()
-	nb := p.b.N()
+	eb := p.bs[0].G.Edges()
+	nb := p.bs[0].N()
 	for r := lo; r < hi; r++ {
 		if r < len(ea) {
 			au, av := ea[r].U*nb, ea[r].V*nb
@@ -59,6 +66,74 @@ func (p *Product) streamRowsBatch(lo, hi int, buf []exec.Edge, emit func(batch [
 	}
 	if len(buf) > 0 {
 		emit(buf)
+	}
+}
+
+// chainBatcher carries the pooled buffer through the recursive chain
+// walk so the hot loop appends edges directly — one emit call per full
+// batch, never per edge.
+type chainBatcher struct {
+	p    *Product
+	buf  []exec.Edge
+	emit func(batch []exec.Edge) bool
+}
+
+// walk is the batch twin of Product.emitChain: expand levels u..K onto
+// the prefix pair (pv, pw), appending each complete edge and flushing
+// full batches.  Returns false once emit stops the stream.
+func (cb *chainBatcher) walk(u, pv, pw int, both bool) bool {
+	p := cb.p
+	f := p.bs[u-1]
+	eb := f.G.Edges()
+	n := f.N()
+	av, aw := pv*n, pw*n
+	if u == len(p.bs) {
+		for _, be := range eb {
+			cb.buf = append(cb.buf, exec.Edge{V: av + be.U, W: aw + be.V})
+			if both {
+				cb.buf = append(cb.buf, exec.Edge{V: av + be.V, W: aw + be.U})
+			}
+			if cap(cb.buf)-len(cb.buf) < 2 {
+				if !cb.emit(cb.buf) {
+					return false
+				}
+				cb.buf = cb.buf[:0]
+			}
+		}
+		return true
+	}
+	for _, be := range eb {
+		if !cb.walk(u+1, av+be.U, aw+be.V, true) {
+			return false
+		}
+		if both && !cb.walk(u+1, av+be.V, aw+be.U, true) {
+			return false
+		}
+	}
+	return true
+}
+
+// streamRowsBatchChain is the K >= 2 batch walker: the same term/row
+// layout as streamRowsChain, with edges accumulated into the pooled
+// buffer by chainBatcher.
+func (p *Product) streamRowsBatchChain(lo, hi int, buf []exec.Edge, emit func(batch []exec.Edge) bool) {
+	cb := &chainBatcher{p: p, buf: buf, emit: emit}
+	ea := p.a.G.Edges()
+	for t := 0; t < len(p.termOff)-1; t++ {
+		tlo, thi := max(lo, p.termOff[t]), min(hi, p.termOff[t+1])
+		for r := tlo; r < thi; r++ {
+			idx := r - p.termOff[t]
+			if t == 0 {
+				if !cb.walk(1, ea[idx].U, ea[idx].V, true) {
+					return
+				}
+			} else if !cb.walk(t, idx, idx, false) {
+				return
+			}
+		}
+	}
+	if len(cb.buf) > 0 {
+		cb.emit(cb.buf)
 	}
 }
 

@@ -1,0 +1,62 @@
+// Chain (K >= 2) row walkers for the per-edge streaming vocabulary.
+// Kept in their own file, after stream.go in compilation order: placing
+// these next to streamRowsTwoFactor perturbs the code layout of the
+// two-factor per-edge hot loop enough to cost ~20% on
+// BenchmarkStream_ShardedEngine (indirect-call-heavy loops are layout
+// sensitive).  The batched chain walker lives in streambatch.go with the
+// rest of the batch vocabulary.
+package core
+
+// streamRowsChain is the general K >= 2 row walker.  A term-0 row expands
+// an A edge through every level with both B-edge orientations; a term-t
+// row (a prefix self loop) anchors at level t with the canonical
+// orientation — the prefix halves coincide, so orientation choice at the
+// anchor is the only symmetry to break — and both orientations below.
+func (p *Product) streamRowsChain(lo, hi int, yield func(v, w int) bool) {
+	ea := p.a.G.Edges()
+	for t := 0; t < len(p.termOff)-1; t++ {
+		tlo, thi := max(lo, p.termOff[t]), min(hi, p.termOff[t+1])
+		for r := tlo; r < thi; r++ {
+			idx := r - p.termOff[t]
+			if t == 0 {
+				if !p.emitChain(1, ea[idx].U, ea[idx].V, true, yield) {
+					return
+				}
+			} else if !p.emitChain(t, idx, idx, false, yield) {
+				return
+			}
+		}
+	}
+}
+
+// emitChain recursively expands levels u..K onto the prefix pair (pv, pw),
+// yielding a product edge per complete digit tuple.  both selects whether
+// level u ranges over both edge orientations (all levels except a
+// self-loop term's anchor).  Returns false when yield stopped the stream.
+func (p *Product) emitChain(u, pv, pw int, both bool, yield func(v, w int) bool) bool {
+	f := p.bs[u-1]
+	eb := f.G.Edges()
+	n := f.N()
+	av, aw := pv*n, pw*n
+	if u == len(p.bs) {
+		for _, be := range eb {
+			if !yield(av+be.U, aw+be.V) {
+				return false
+			}
+			if both && !yield(av+be.V, aw+be.U) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, be := range eb {
+		if !p.emitChain(u+1, av+be.U, aw+be.V, true, yield) {
+			return false
+		}
+		if both && !p.emitChain(u+1, av+be.V, aw+be.U, true, yield) {
+			return false
+		}
+	}
+	return true
+}
+

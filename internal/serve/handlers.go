@@ -48,10 +48,13 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// specFromQuery decodes the shared ?factor=&mode=&seed= triple through
-// the same spec vocabulary the CLI flags resolve through.
+// specFromQuery decodes the shared ?factor=&mode=&seed= fields through
+// the same spec vocabulary the CLI flags resolve through.  factor may
+// repeat: each occurrence appends one chain level, in query order, so
+// ?factor=crown4&factor=path3 names the three-level chain exactly as the
+// CLI's repeated -factor flag does.
 func specFromQuery(q url.Values) (spec.Spec, error) {
-	sp := spec.Spec{Factor: q.Get("factor"), Mode: q.Get("mode"), Seed: spec.DefaultSeed}
+	sp := spec.Spec{Factors: q["factor"], Mode: q.Get("mode"), Seed: spec.DefaultSeed}
 	if v := q.Get("seed"); v != "" {
 		seed, err := strconv.ParseInt(v, 10, 64)
 		if err != nil {
@@ -97,16 +100,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the /v1/stats payload: the Table I shape, answered
 // entirely from factor closed forms.
 type statsResponse struct {
-	Spec             string      `json:"spec"`
-	Mode             string      `json:"mode"`
-	FactorA          factorStats `json:"factor_a"`
-	FactorB          factorStats `json:"factor_b"`
-	N                int         `json:"n"`
-	NU               int         `json:"n_u"`
-	NW               int         `json:"n_w"`
-	NumEdges         int64       `json:"num_edges"`
-	GlobalFourCycles int64       `json:"global_four_cycles"`
-	Connected        bool        `json:"connected_by_theorem"`
+	Spec             string        `json:"spec"`
+	Mode             string        `json:"mode"`
+	Arity            int           `json:"arity"`
+	FactorA          factorStats   `json:"factor_a"`
+	FactorB          factorStats   `json:"factor_b"` // the last chain factor
+	Factors          []factorStats `json:"factors"`  // every factor, A first
+	N                int           `json:"n"`
+	NU               int           `json:"n_u"`
+	NW               int           `json:"n_w"`
+	NumEdges         int64         `json:"num_edges"`
+	GlobalFourCycles int64         `json:"global_four_cycles"`
+	Connected        bool          `json:"connected_by_theorem"`
 }
 
 type factorStats struct {
@@ -134,11 +139,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	fa, fb := p.FactorA(), p.FactorB()
 	nu, nw := p.PartSizes()
+	all := p.Factors()
+	factors := make([]factorStats, len(all))
+	for i, f := range all {
+		factors[i] = factorStats{N: f.N(), Edges: f.G.NumEdges(), FourCycles: f.Global4}
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Spec:             sp.Canonical(),
 		Mode:             p.Mode().String(),
+		Arity:            p.Arity(),
 		FactorA:          factorStats{N: fa.N(), Edges: fa.G.NumEdges(), FourCycles: fa.Global4},
 		FactorB:          factorStats{N: fb.N(), Edges: fb.G.NumEdges(), FourCycles: fb.Global4},
+		Factors:          factors,
 		N:                p.N(),
 		NU:               nu,
 		NW:               nw,
@@ -162,7 +174,8 @@ type truthResponse struct {
 type vertexTruth struct {
 	Vertex     int    `json:"vertex"`
 	FactorA    int    `json:"factor_a"`
-	FactorB    int    `json:"factor_b"`
+	FactorB    int    `json:"factor_b"` // digit of the last chain factor
+	Digits     []int  `json:"digits"`   // full mixed-radix decomposition, A first
 	Degree     int64  `json:"degree"`
 	TwoWalks   int64  `json:"two_walks"`
 	FourCycles int64  `json:"four_cycles"`
@@ -202,15 +215,16 @@ func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad vertex %q (want [0,%d))", v, p.N())
 			return
 		}
-		i, k := p.PairOf(vi)
+		digits := p.DigitsOf(vi)
 		side := "U"
 		if p.SideOf(vi) == graph.SideW {
 			side = "W"
 		}
 		resp.Vertex = &vertexTruth{
 			Vertex:     vi,
-			FactorA:    i,
-			FactorB:    k,
+			FactorA:    digits[0],
+			FactorB:    digits[len(digits)-1],
+			Digits:     digits,
 			Degree:     p.DegreeAt(vi),
 			TwoWalks:   p.TwoWalksAt(vi),
 			FourCycles: p.VertexFourCyclesAt(vi),
@@ -245,11 +259,14 @@ func (s *Server) handleTruth(w http.ResponseWriter, r *http.Request) {
 }
 
 // submitRequest is the POST /v1/jobs body; every field is optional.
+// "factors" lists the chain levels in order; the singular "factor" is the
+// historical one-level spelling and may not be combined with it.
 type submitRequest struct {
-	Factor string `json:"factor"`
-	Mode   string `json:"mode"`
-	Seed   *int64 `json:"seed"`
-	Audit  *bool  `json:"audit"` // overrides the server-level default
+	Factor  string   `json:"factor"`
+	Factors []string `json:"factors"`
+	Mode    string   `json:"mode"`
+	Seed    *int64   `json:"seed"`
+	Audit   *bool    `json:"audit"` // overrides the server-level default
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -267,7 +284,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sp := spec.Spec{Factor: req.Factor, Mode: req.Mode, Seed: spec.DefaultSeed}
+	if req.Factor != "" && len(req.Factors) > 0 {
+		writeError(w, http.StatusBadRequest, `use either "factor" or "factors", not both`)
+		return
+	}
+	factors := req.Factors
+	if req.Factor != "" {
+		factors = []string{req.Factor}
+	}
+	sp := spec.Spec{Factors: factors, Mode: req.Mode, Seed: spec.DefaultSeed}
 	if req.Seed != nil {
 		sp.Seed = *req.Seed
 	}

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"kronbip/internal/spec"
 )
 
 // testServer builds a Server + httptest wrapper with fast test defaults.
@@ -305,6 +307,101 @@ func TestOversizedSpecReturns413(t *testing.T) {
 	getJSON(t, ts.URL+"/v1/jobs", &list)
 	if len(list.Jobs) != 0 {
 		t.Errorf("rejected job was retained: %+v", list.Jobs)
+	}
+}
+
+// TestOversizedChainRejectedBeforeGeneration: admission control prices a
+// k = 4 chain from the closed-form |E_C| recursion alone — the 413 must
+// land without a single generation step running.
+func TestOversizedChainRejectedBeforeGeneration(t *testing.T) {
+	s, ts := testServer(t, Config{MaxEdges: 1000})
+	s.mgr.runHook = func(ctx context.Context, j *Job) error {
+		t.Error("generation started for an over-budget chain")
+		return nil
+	}
+	// (crown4+I)⊗crown4 alone has 384 edges; each extra level multiplies
+	// by ≈ 2·|E_B|, so the 4-factor chain is far past the 1000 budget.
+	_, res := submitJob(t, ts.URL, `{"factors":["crown4","crown4","crown4","crown4"]}`)
+	if res.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized chain submit = %d, want 413", res.StatusCode)
+	}
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs", &list)
+	if len(list.Jobs) != 0 {
+		t.Errorf("rejected chain job was retained: %+v", list.Jobs)
+	}
+}
+
+// TestChainJobHappyPath: a chained spec end to end through the service —
+// submit with "factors", audit online, stream, and cross-check against
+// the /v1/truth chained query (repeated factor= params).
+func TestChainJobHappyPath(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	st, res := submitJob(t, ts.URL, `{"factors":["crown4","path3"],"mode":"selfloop","seed":1,"audit":true}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("chain submit = %d", res.StatusCode)
+	}
+	final := waitState(t, ts.URL, st.ID, "done")
+	if final.EdgesStreamed != final.NumEdges {
+		t.Errorf("chain job streamed %d edges, closed form says %d", final.EdgesStreamed, final.NumEdges)
+	}
+	if final.AuditChecks == 0 || final.AuditViolations != 0 {
+		t.Errorf("chain audit checks=%d violations=%d", final.AuditChecks, final.AuditViolations)
+	}
+	var truth struct {
+		NumEdges int64 `json:"num_edges"`
+		Vertex   *struct {
+			Digits []int `json:"digits"`
+		} `json:"vertex"`
+	}
+	getJSON(t, ts.URL+"/v1/truth?factor=crown4&factor=path3&mode=selfloop&seed=1&vertex=7", &truth)
+	if truth.NumEdges != final.NumEdges {
+		t.Errorf("chained truth num_edges=%d, job says %d", truth.NumEdges, final.NumEdges)
+	}
+	if truth.Vertex == nil || len(truth.Vertex.Digits) != 3 {
+		t.Errorf("vertex truth digits = %+v, want a 3-digit tuple", truth.Vertex)
+	}
+}
+
+func TestFactorAndFactorsMutuallyExclusive(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	_, res := submitJob(t, ts.URL, `{"factor":"crown4","factors":["path3"]}`)
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit with both factor and factors = %d, want 400", res.StatusCode)
+	}
+}
+
+// TestCacheDistinguishesGroupings: chained Kronecker products do not
+// reassociate — (A∘B₁)∘B₂ built eagerly via a product(…) composite is a
+// different graph than the flat chain over the same leaves, and the
+// spec-keyed cache must keep both as distinct entries.
+func TestCacheDistinguishesGroupings(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	flat := spec.Spec{Factors: []string{"crown4", "path2", "path3"}, Mode: "selfloop", Seed: 1}
+	grouped := spec.Spec{Factors: []string{"product(crown4,path2)", "path3"}, Mode: "selfloop", Seed: 1}
+	pf, err := s.cache.get(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := s.cache.get(grouped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cache.len() != 2 {
+		t.Fatalf("cache holds %d entries for flat vs grouped chain, want 2", s.cache.len())
+	}
+	if pf == pg {
+		t.Fatal("cache returned one product for two groupings")
+	}
+	if pf.N() == pg.N() && pf.NumEdges() == pg.NumEdges() {
+		t.Errorf("flat (%d,%d) and grouped (%d,%d) chains look identical; grouping must matter",
+			pf.N(), pf.NumEdges(), pg.N(), pg.NumEdges())
+	}
+	// A repeat fetch of either is a hit, not a rebuild.
+	if p2, err := s.cache.get(flat); err != nil || p2 != pf {
+		t.Errorf("flat-chain refetch missed the cache (err=%v)", err)
 	}
 }
 

@@ -1,7 +1,7 @@
 // Package spec is the canonical product-specification vocabulary shared
-// by the command-line front ends and the HTTP service: a (factor, mode,
-// seed) triple that deterministically names one Kronecker product.  Both
-// the CLI flag surface and the serve request decoder resolve specs
+// by the command-line front ends and the HTTP service: a (factor chain,
+// mode, seed) triple that deterministically names one Kronecker product.
+// Both the CLI flag surface and the serve request decoder resolve specs
 // through this package, so the two paths cannot drift, and the canonical
 // string form doubles as the factor-spec cache key in internal/serve.
 package spec
@@ -18,8 +18,8 @@ import (
 
 // Product construction modes, as spelled on the CLI and the wire.
 const (
-	ModeSelfLoop = "selfloop" // Assumption 1(ii): (A+I_A) ⊗ B with A = B
-	ModeNonBip   = "nonbip"   // Assumption 1(i): A ⊗ B with A a 5-cycle
+	ModeSelfLoop = "selfloop" // Assumption 1(ii): (A+I_A) ⊗ B₁ with A = B₁
+	ModeNonBip   = "nonbip"   // Assumption 1(i): A ⊗ B₁ with A a 5-cycle
 )
 
 // Defaults applied by WithDefaults (and by the serve decoder for absent
@@ -30,20 +30,26 @@ const (
 	DefaultSeed   = int64(2020)
 )
 
-// Spec names one product: a bipartite factor spec, a construction mode
-// and the seed consumed by the randomized factors (unicode, sf).
+// Spec names one product: an ordered chain of bipartite factor specs, a
+// construction mode and the seed consumed by the randomized factors
+// (unicode, sf).  One factor is the historical two-factor product; each
+// additional factor chains one more Kronecker level onto it,
+//
+//	C₁ = M₀ ⊗ B₁,   C_t = (C_{t-1} + I) ⊗ B_t,
+//
+// with M₀ = B₁+I (selfloop mode) or a 5-cycle (nonbip mode).
 type Spec struct {
-	Factor string
-	Mode   string
-	Seed   int64
+	Factors []string
+	Mode    string
+	Seed    int64
 }
 
-// WithDefaults fills empty Factor/Mode fields with the package defaults.
-// Seed is kept as-is (zero is a legitimate seed); callers that decode
-// from a wire format substitute DefaultSeed for an absent field.
+// WithDefaults fills an empty factor chain / mode with the package
+// defaults.  Seed is kept as-is (zero is a legitimate seed); callers that
+// decode from a wire format substitute DefaultSeed for an absent field.
 func (s Spec) WithDefaults() Spec {
-	if s.Factor == "" {
-		s.Factor = DefaultFactor
+	if len(s.Factors) == 0 {
+		s.Factors = []string{DefaultFactor}
 	}
 	if s.Mode == "" {
 		s.Mode = DefaultMode
@@ -52,19 +58,29 @@ func (s Spec) WithDefaults() Spec {
 }
 
 // Canonical renders the spec (after defaulting) in its canonical string
-// form, e.g. "factor=crown4 mode=selfloop seed=2020".  Equal products
+// form — one factor= clause per chain level, in chain order, e.g.
+// "factor=crown4 factor=path3 mode=selfloop seed=2020".  Equal products
 // have equal canonical forms, so the string is a valid cache/dedupe key;
-// Parse inverts it.
+// Parse inverts it.  Note the factor list is ordered, not a set: chained
+// Kronecker products do not commute, and a regrouped chain (a product(…)
+// composite factor) canonicalizes differently from the flat chain with
+// the same leaves.
 func (s Spec) Canonical() string {
 	s = s.WithDefaults()
-	return fmt.Sprintf("factor=%s mode=%s seed=%d", s.Factor, s.Mode, s.Seed)
+	var b strings.Builder
+	for _, f := range s.Factors {
+		fmt.Fprintf(&b, "factor=%s ", f)
+	}
+	fmt.Fprintf(&b, "mode=%s seed=%d", s.Mode, s.Seed)
+	return b.String()
 }
 
 // String returns the canonical form.
 func (s Spec) String() string { return s.Canonical() }
 
 // Parse inverts Canonical: it accepts space-separated key=value fields
-// in any order (absent fields take the defaults) and rejects unknown
+// with any number of factor= clauses (order significant; absent fields
+// take the defaults) and rejects unknown or non-repeatable duplicate
 // keys, so Parse(s.Canonical()) round-trips every valid spec.
 func Parse(text string) (Spec, error) {
 	var s Spec
@@ -74,13 +90,11 @@ func Parse(text string) (Spec, error) {
 		if !ok {
 			return Spec{}, fmt.Errorf("spec: bad field %q (want key=value)", field)
 		}
-		if seen[key] {
-			return Spec{}, fmt.Errorf("spec: duplicate field %q", key)
-		}
-		seen[key] = true
 		switch key {
 		case "factor":
-			s.Factor = value
+			// Repeatable: each occurrence appends one chain level.
+			s.Factors = append(s.Factors, value)
+			continue
 		case "mode":
 			s.Mode = value
 		case "seed":
@@ -92,6 +106,10 @@ func Parse(text string) (Spec, error) {
 		default:
 			return Spec{}, fmt.Errorf("spec: unknown field %q", key)
 		}
+		if seen[key] {
+			return Spec{}, fmt.Errorf("spec: duplicate field %q", key)
+		}
+		seen[key] = true
 	}
 	if !seen["seed"] {
 		s.Seed = DefaultSeed
@@ -101,12 +119,20 @@ func Parse(text string) (Spec, error) {
 
 // ParseFactor resolves a factor spec string into a bipartite factor
 // graph.  Recognized specs: unicode, crown<N>, biclique<NU>x<NW>,
-// cycle<N>, path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES>.
+// cycle<N>, path<N>, star<N>, hypercube<D>, sf<NU>x<NW>x<EDGES>, and the
+// composite product(<F1>,<F2>) — the materialized self-loop product of
+// two factor specs, usable anywhere a leaf factor is.  The composite is
+// how a regrouped chain is spelled: "factor=product(crown4,path2)
+// factor=path3" names ((crown4 ∘ path2) ∘ path3) with the inner product
+// built eagerly, which is a different object — and a different canonical
+// string — than the flat three-level chain.
 func ParseFactor(factorSpec string, seed int64) (*graph.Bipartite, error) {
 	num := func(s string) (int, error) { return strconv.Atoi(s) }
 	switch {
 	case factorSpec == "unicode":
 		return gen.UnicodeLike(seed), nil
+	case strings.HasPrefix(factorSpec, "product(") && strings.HasSuffix(factorSpec, ")"):
+		return parseProductFactor(factorSpec, seed)
 	case strings.HasPrefix(factorSpec, "crown"):
 		n, err := num(factorSpec[len("crown"):])
 		if err != nil || n < 3 {
@@ -165,13 +191,92 @@ func ParseFactor(factorSpec string, seed int64) (*graph.Bipartite, error) {
 	}
 }
 
-// Build assembles the product the spec names, preferring the strict
-// constructor (which certifies Thm. 1/2 connectivity and unlocks the
-// distance ground truth) and falling back to the relaxed one for
-// disconnected factors like the unicode network.
+// splitTopLevel splits s on commas that are not nested inside
+// parentheses, so product(product(a,b),c) resolves its own two operands.
+func splitTopLevel(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// parseProductFactor materializes product(<F1>,<F2>): the self-loop-mode
+// product of the two (recursively parsed) operand factors, returned as an
+// explicit bipartite graph whose sides come from the product's own
+// ground-truth bipartition.  Strict construction is preferred; relaxed is
+// the fallback for disconnected operands.
+func parseProductFactor(factorSpec string, seed int64) (*graph.Bipartite, error) {
+	inner := factorSpec[len("product(") : len(factorSpec)-1]
+	ops := splitTopLevel(inner)
+	if len(ops) != 2 || ops[0] == "" || ops[1] == "" {
+		return nil, fmt.Errorf("bad product spec %q (want product(<F1>,<F2>))", factorSpec)
+	}
+	f1, err := ParseFactor(strings.TrimSpace(ops[0]), seed)
+	if err != nil {
+		return nil, fmt.Errorf("product operand 1: %w", err)
+	}
+	f2, err := ParseFactor(strings.TrimSpace(ops[1]), seed)
+	if err != nil {
+		return nil, fmt.Errorf("product operand 2: %w", err)
+	}
+	p, err := core.NewChainWithParts(f1.Graph, core.ModeSelfLoopFactor, f2)
+	if err != nil {
+		p, err = core.NewChainRelaxedWithParts(f1.Graph, core.ModeSelfLoopFactor, f2)
+		if err != nil {
+			return nil, fmt.Errorf("bad product spec %q: %w", factorSpec, err)
+		}
+	}
+	g, err := p.Materialize(0)
+	if err != nil {
+		return nil, fmt.Errorf("materializing product factor %q: %w", factorSpec, err)
+	}
+	part := graph.Bipartition{Color: make([]graph.Side, p.N())}
+	for v := 0; v < p.N(); v++ {
+		side := p.SideOf(v)
+		part.Color[v] = side
+		if side == graph.SideU {
+			part.U = append(part.U, v)
+		} else {
+			part.W = append(part.W, v)
+		}
+	}
+	return &graph.Bipartite{Graph: g, Part: part}, nil
+}
+
+// BuildFactors resolves every factor clause of the (defaulted) spec, in
+// chain order.  Exposed so front ends can report per-level factor shapes.
+func (s Spec) BuildFactors() ([]*graph.Bipartite, error) {
+	s = s.WithDefaults()
+	bs := make([]*graph.Bipartite, len(s.Factors))
+	for i, f := range s.Factors {
+		b, err := ParseFactor(f, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		bs[i] = b
+	}
+	return bs, nil
+}
+
+// Build assembles the chained product the spec names, preferring the
+// strict constructor (which certifies Thm. 1/2 connectivity per level and
+// unlocks the distance ground truth) and falling back to the relaxed one
+// for disconnected factors like the unicode network.
 func (s Spec) Build() (*core.Product, error) {
 	s = s.WithDefaults()
-	b, err := ParseFactor(s.Factor, s.Seed)
+	bs, err := s.BuildFactors()
 	if err != nil {
 		return nil, err
 	}
@@ -179,14 +284,14 @@ func (s Spec) Build() (*core.Product, error) {
 	var m core.Mode
 	switch s.Mode {
 	case ModeSelfLoop:
-		a, m = b.Graph, core.ModeSelfLoopFactor
+		a, m = bs[0].Graph, core.ModeSelfLoopFactor
 	case ModeNonBip:
 		a, m = gen.Cycle(5), core.ModeNonBipartiteFactor
 	default:
 		return nil, fmt.Errorf("unknown mode %q (want %s or %s)", s.Mode, ModeSelfLoop, ModeNonBip)
 	}
-	if p, err := core.NewWithParts(a, b, m); err == nil {
+	if p, err := core.NewChainWithParts(a, m, bs...); err == nil {
 		return p, nil
 	}
-	return core.NewRelaxedWithParts(a, b, m)
+	return core.NewChainRelaxedWithParts(a, m, bs...)
 }

@@ -1,6 +1,8 @@
 package spec
 
 import (
+	"reflect"
+	"strings"
 	"testing"
 
 	"kronbip/internal/core"
@@ -49,6 +51,8 @@ func TestParseFactorErrors(t *testing.T) {
 		"nope", "crown2", "crownx", "biclique3", "biclique3x", "bicliqueAxB",
 		"cycle5", "cycle3", "cyclex", "path1", "star1", "hypercube0",
 		"hypercube99", "sf3x4", "sfAxBxC",
+		"product()", "product(crown4)", "product(crown4,)", "product(,path2)",
+		"product(crown4,nope)", "product(nope,path2)", "product(crown4,path2,path3)",
 	}
 	for _, s := range bad {
 		if _, err := ParseFactor(s, 1); err == nil {
@@ -57,36 +61,119 @@ func TestParseFactorErrors(t *testing.T) {
 	}
 }
 
+// TestProductFactorComposite: product(<F1>,<F2>) materializes the
+// self-loop product of its operands, so used as the first factor of a
+// chain it is exactly the "(A⊗B1)⊗B2 grouped eagerly" spelling.
+func TestProductFactorComposite(t *testing.T) {
+	b, err := ParseFactor("product(crown4,path2)", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The composite must equal the chain's own level: (crown4+I) ⊗ path2.
+	inner, err := Spec{Factors: []string{"crown4", "path2"}, Mode: ModeSelfLoop, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spec chain for ["crown4","path2"] is ((crown4+I)⊗crown4 +I)⊗path2;
+	// the composite is one level: (crown4+I)⊗path2.  Compare against the
+	// direct core build instead.
+	f1, _ := ParseFactor("crown4", 1)
+	f2, _ := ParseFactor("path2", 1)
+	direct, err := core.NewChainWithParts(f1.Graph, core.ModeSelfLoopFactor, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != direct.N() || int64(b.NumEdges()) != direct.NumEdges() {
+		t.Fatalf("composite shape (%d,%d), direct product (%d,%d)",
+			b.N(), b.NumEdges(), direct.N(), direct.NumEdges())
+	}
+	if b.NU()+b.NW() != b.N() {
+		t.Fatal("composite bipartition does not cover the graph")
+	}
+	_ = inner
+	// Nested composites parse too.
+	if _, err := ParseFactor("product(product(crown4,path2),path3)", 1); err != nil {
+		t.Fatalf("nested product: %v", err)
+	}
+}
+
+// TestGroupingChangesSpec: the regrouped chain and the flat chain are
+// different objects with different canonical strings (the serve cache
+// must never conflate them).
+func TestGroupingChangesSpec(t *testing.T) {
+	flat := Spec{Factors: []string{"crown4", "path2", "path3"}, Mode: ModeSelfLoop, Seed: 1}
+	grouped := Spec{Factors: []string{"product(crown4,path2)", "path3"}, Mode: ModeSelfLoop, Seed: 1}
+	if flat.Canonical() == grouped.Canonical() {
+		t.Fatalf("flat and grouped chains share a canonical form %q", flat.Canonical())
+	}
+	pf, err := flat.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := grouped.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.N() == pg.N() && pf.NumEdges() == pg.NumEdges() {
+		t.Fatal("flat and grouped chains built indistinguishable products; grouping should matter")
+	}
+}
+
 func TestBuildModes(t *testing.T) {
-	p, err := Spec{Factor: "crown4", Mode: ModeSelfLoop, Seed: 1}.Build()
+	p, err := Spec{Factors: []string{"crown4"}, Mode: ModeSelfLoop, Seed: 1}.Build()
 	if err != nil {
 		t.Fatalf("Build selfloop: %v", err)
 	}
 	if p.Mode() != core.ModeSelfLoopFactor {
 		t.Errorf("mode = %v, want self-loop", p.Mode())
 	}
-	p, err = Spec{Factor: "crown4", Mode: ModeNonBip, Seed: 1}.Build()
+	p, err = Spec{Factors: []string{"crown4"}, Mode: ModeNonBip, Seed: 1}.Build()
 	if err != nil {
 		t.Fatalf("Build nonbip: %v", err)
 	}
 	if p.Mode() != core.ModeNonBipartiteFactor {
 		t.Errorf("mode = %v, want non-bipartite", p.Mode())
 	}
-	if _, err := (Spec{Factor: "crown4", Mode: "bogus", Seed: 1}).Build(); err == nil {
+	if _, err := (Spec{Factors: []string{"crown4"}, Mode: "bogus", Seed: 1}).Build(); err == nil {
 		t.Error("bogus mode: want error")
 	}
-	if _, err := (Spec{Factor: "nope", Mode: ModeSelfLoop, Seed: 1}).Build(); err == nil {
+	if _, err := (Spec{Factors: []string{"nope"}, Mode: ModeSelfLoop, Seed: 1}).Build(); err == nil {
 		t.Error("bogus factor: want error")
+	}
+}
+
+func TestBuildChainArity(t *testing.T) {
+	p, err := Spec{Factors: []string{"crown4", "path3", "path2"}, Mode: ModeSelfLoop, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-loop chains pair the first factor with itself, then chain the
+	// rest: arity = len(Factors) + 1.
+	if p.Arity() != 4 {
+		t.Fatalf("arity = %d, want 4", p.Arity())
+	}
+	if p.N() != 8*8*3*2 {
+		t.Fatalf("N = %d, want %d", p.N(), 8*8*3*2)
+	}
+	p, err = Spec{Factors: []string{"crown4", "path3"}, Mode: ModeNonBip, Seed: 1}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Arity() != 3 {
+		t.Fatalf("nonbip chain arity = %d, want 3", p.Arity())
 	}
 }
 
 func TestCanonicalRoundTrip(t *testing.T) {
 	specs := []Spec{
 		{},
-		{Factor: "crown4"},
-		{Factor: "unicode", Mode: ModeSelfLoop, Seed: 2020},
-		{Factor: "sf20x30x50", Mode: ModeNonBip, Seed: -7},
-		{Factor: "biclique3x5", Mode: ModeSelfLoop, Seed: 0},
+		{Factors: []string{"crown4"}},
+		{Factors: []string{"unicode"}, Mode: ModeSelfLoop, Seed: 2020},
+		{Factors: []string{"sf20x30x50"}, Mode: ModeNonBip, Seed: -7},
+		{Factors: []string{"biclique3x5"}, Mode: ModeSelfLoop, Seed: 0},
+		{Factors: []string{"crown4", "path3"}, Mode: ModeSelfLoop, Seed: 5},
+		{Factors: []string{"crown4", "path3", "star4", "cycle6"}, Mode: ModeNonBip, Seed: 9},
+		{Factors: []string{"product(crown4,path2)", "path3"}, Mode: ModeSelfLoop, Seed: 1},
 	}
 	for _, s := range specs {
 		got, err := Parse(s.Canonical())
@@ -95,7 +182,7 @@ func TestCanonicalRoundTrip(t *testing.T) {
 		}
 		// Round-tripping is defined up to defaulting: the canonical
 		// form always spells out every field.
-		if got != s.WithDefaults() {
+		if !reflect.DeepEqual(got, s.WithDefaults()) {
 			t.Errorf("Parse(Canonical(%+v)) = %+v, want %+v", s, got, s.WithDefaults())
 		}
 		if got.Canonical() != s.Canonical() {
@@ -104,26 +191,55 @@ func TestCanonicalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFactorOrderSignificant: factor clauses are a chain, not a set —
+// reordering them names a different product and a different key.
+func TestFactorOrderSignificant(t *testing.T) {
+	ab := Spec{Factors: []string{"crown4", "path3"}, Mode: ModeSelfLoop, Seed: 1}
+	ba := Spec{Factors: []string{"path3", "crown4"}, Mode: ModeSelfLoop, Seed: 1}
+	if ab.Canonical() == ba.Canonical() {
+		t.Fatal("factor order lost in canonical form")
+	}
+	pab, err := ab.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pba, err := ba.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pab.NumEdges() == pba.NumEdges() {
+		t.Fatal("reordered chains built products with identical edge counts; expected different graphs")
+	}
+}
+
 func TestParseDefaultsAndOrder(t *testing.T) {
 	got, err := Parse("seed=7 factor=crown4")
 	if err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
-	want := Spec{Factor: "crown4", Mode: ModeSelfLoop, Seed: 7}
-	if got != want {
+	want := Spec{Factors: []string{"crown4"}, Mode: ModeSelfLoop, Seed: 7}
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("got %+v, want %+v", got, want)
 	}
 	got, err = Parse("")
 	if err != nil {
 		t.Fatalf("Parse(empty): %v", err)
 	}
-	if got != (Spec{Factor: DefaultFactor, Mode: DefaultMode, Seed: DefaultSeed}) {
+	if !reflect.DeepEqual(got, Spec{Factors: []string{DefaultFactor}, Mode: DefaultMode, Seed: DefaultSeed}) {
 		t.Errorf("empty spec did not default: %+v", got)
+	}
+	// Repeated factor clauses accumulate in order.
+	got, err = Parse("factor=a factor=b factor=c")
+	if err != nil {
+		t.Fatalf("Parse(chain): %v", err)
+	}
+	if !reflect.DeepEqual(got.Factors, []string{"a", "b", "c"}) {
+		t.Errorf("chain factors = %v", got.Factors)
 	}
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, bad := range []string{"factor", "factor=a factor=b", "seed=xyz", "color=blue"} {
+	for _, bad := range []string{"factor", "seed=xyz", "color=blue", "mode=a mode=b", "seed=1 seed=2"} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q): want error", bad)
 		}
@@ -131,26 +247,75 @@ func TestParseErrors(t *testing.T) {
 }
 
 // TestCLIAndWireAgree is the anti-drift check the refactor exists for:
-// the same triple resolved through the canonical string (the serve
+// the same spec resolved through the canonical string (the serve
 // cache-key path) and directly (the CLI path) must name identical
-// products.
+// products — including chained ones.
 func TestCLIAndWireAgree(t *testing.T) {
-	direct := Spec{Factor: "crown5", Mode: ModeSelfLoop, Seed: 11}
-	viaWire, err := Parse(direct.Canonical())
-	if err != nil {
-		t.Fatalf("Parse: %v", err)
+	for _, direct := range []Spec{
+		{Factors: []string{"crown5"}, Mode: ModeSelfLoop, Seed: 11},
+		{Factors: []string{"crown4", "path3", "path2"}, Mode: ModeSelfLoop, Seed: 11},
+	} {
+		viaWire, err := Parse(direct.Canonical())
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		pd, err := direct.Build()
+		if err != nil {
+			t.Fatalf("Build(direct): %v", err)
+		}
+		pw, err := viaWire.Build()
+		if err != nil {
+			t.Fatalf("Build(wire): %v", err)
+		}
+		if pd.N() != pw.N() || pd.NumEdges() != pw.NumEdges() || pd.GlobalFourCycles() != pw.GlobalFourCycles() {
+			t.Errorf("products differ: (%d,%d,%d) vs (%d,%d,%d)",
+				pd.N(), pd.NumEdges(), pd.GlobalFourCycles(),
+				pw.N(), pw.NumEdges(), pw.GlobalFourCycles())
+		}
 	}
-	pd, err := direct.Build()
-	if err != nil {
-		t.Fatalf("Build(direct): %v", err)
+}
+
+// FuzzParseRoundTrip: for any input Parse accepts, Canonical must be a
+// fixed point — parse(canonical(parse(x))) == parse(x) — and factor
+// clauses must survive verbatim and in order.  The seed corpus spans
+// every grammar feature (defaults, chains, composites, negative seeds).
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		"",
+		"factor=crown4",
+		"factor=unicode mode=selfloop seed=2020",
+		"factor=crown4 factor=path3 mode=nonbip seed=-7",
+		"factor=crown4 factor=path3 factor=star4 factor=cycle6 mode=selfloop seed=9",
+		"factor=product(crown4,path2) factor=path3 mode=selfloop seed=1",
+		"factor=product(product(crown4,path2),path3) mode=selfloop seed=0",
+		"seed=7 factor=crown4",
+		"mode=nonbip",
+		"factor=sf20x30x50 seed=123456789",
 	}
-	pw, err := viaWire.Build()
-	if err != nil {
-		t.Fatalf("Build(wire): %v", err)
+	for _, s := range seeds {
+		f.Add(s)
 	}
-	if pd.N() != pw.N() || pd.NumEdges() != pw.NumEdges() || pd.GlobalFourCycles() != pw.GlobalFourCycles() {
-		t.Errorf("products differ: (%d,%d,%d) vs (%d,%d,%d)",
-			pd.N(), pd.NumEdges(), pd.GlobalFourCycles(),
-			pw.N(), pw.NumEdges(), pw.GlobalFourCycles())
-	}
+	f.Fuzz(func(t *testing.T, text string) {
+		s1, err := Parse(text)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		c1 := s1.Canonical()
+		s2, err := Parse(c1)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted input %q does not re-parse: %v", c1, text, err)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("round trip drifted: %+v vs %+v", s1, s2)
+		}
+		if c2 := s2.Canonical(); c1 != c2 {
+			t.Fatalf("canonical not a fixed point: %q vs %q", c1, c2)
+		}
+		// Each input factor clause must appear in the canonical form.
+		for _, fc := range s1.Factors {
+			if !strings.Contains(c1, "factor="+fc+" ") {
+				t.Fatalf("factor %q lost from canonical %q", fc, c1)
+			}
+		}
+	})
 }
