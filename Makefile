@@ -38,19 +38,24 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkStream_' -benchtime 10x .
 	$(GO) test -bench . -benchtime 100x ./internal/exec
+	$(GO) test -run XXX -bench 'BenchmarkServeMiddleware' ./internal/serve
 
 # bench-json records the same runs in `go test -json` form, one dated
 # file per day, for diffing throughput across PRs.
 bench-json:
 	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
-	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; } > BENCH_$(BENCH_DATE).json
+	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; \
+	  $(GO) test -json -run XXX -bench 'BenchmarkServeMiddleware' ./internal/serve ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
 
 # bench-check compares the two most recent records: 2x threshold for
 # engine microbenchmarks (catches lost parallelism or accidental
-# quadratic blowups, not machine-to-machine noise), but a tight 1.2x for
+# quadratic blowups, not machine-to-machine noise), a tight 1.2x for
 # the BenchmarkStream_* family — a >20% slide in the edge-streaming hot
-# paths fails the build.  Passes trivially with fewer than two records.
+# paths fails the build — and 1.5x for BenchmarkServe* (the HTTP
+# middleware per-request cost).  Results under the 500ns noise floor
+# never fail: nanosecond ops at -benchtime 100x measure scheduler
+# jitter, not the code.  Passes trivially with fewer than two records.
 bench-check:
 	$(GO) run ./cmd/benchcheck -dir .
 

@@ -123,6 +123,37 @@ func TestStreamThresholdTighter(t *testing.T) {
 	}
 }
 
+// TestNoiseFloor: nanosecond-scale jitter (10ns -> 67ns at 100
+// iterations) passes regardless of ratio, but a genuine blowup on the
+// same benchmark clears the floor and still fails.
+func TestNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	old := record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkPollerCancelled", "10"}})
+	new_ := record(t, dir, "BENCH_2026-01-02.json", [][2]string{{"BenchmarkPollerCancelled", "67"}})
+	var out bytes.Buffer
+	if code := realMain([]string{old, new_}, &out); code != 0 {
+		t.Fatalf("sub-floor jitter failed, output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "ok (below noise floor)") {
+		t.Fatalf("output missing noise-floor verdict:\n%s", out.String())
+	}
+
+	blown := record(t, dir, "BENCH_2026-01-03.json", [][2]string{{"BenchmarkPollerCancelled", "10000"}})
+	out.Reset()
+	if code := realMain([]string{old, blown}, &out); code == 0 {
+		t.Fatalf("1000x blowup passed, output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("output missing regression verdict:\n%s", out.String())
+	}
+
+	// The floor is tunable: raising it above the blown result accepts it.
+	out.Reset()
+	if code := realMain([]string{"-noise-floor", "20000", old, blown}, &out); code != 0 {
+		t.Fatalf("exit %d under -noise-floor 20000, output:\n%s", code, out.String())
+	}
+}
+
 func TestCompareFewerThanTwoRecordsPasses(t *testing.T) {
 	dir := t.TempDir()
 	record(t, dir, "BENCH_2026-01-01.json", [][2]string{{"BenchmarkA", "1000"}})

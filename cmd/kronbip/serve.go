@@ -3,6 +3,9 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
+	"io"
+	"os"
 	"time"
 
 	"kronbip/internal/cli"
@@ -30,6 +33,10 @@ func cmdServe(ctx context.Context, args []string) error {
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: running jobs and open responses get this long to finish")
 	auditOn := fs.Bool("audit", false, "run the online ground-truth auditor inside every job by default")
 	auditSample := fs.Int("audit-sample", 0, "auditor edge-membership sampling stride (0 = default 1024)")
+	sloWindow := fs.Duration("slo-window", time.Minute, "rolling window the SLO evaluator judges over")
+	sloP99 := fs.Duration("slo-p99", time.Second, "p99 latency objective for non-streaming routes; /readyz answers 503 while burned (negative = disabled)")
+	sloErrRate := fs.Float64("slo-error-rate", 0.05, "5xx error-rate objective as a fraction (negative = disabled)")
+	accessLog := fs.String("access-log", "", "write one logfmt line per request (req_id, trace_id, route, status) to this file ('-' = stderr)")
 	obsFlags := obs.RegisterFlags(fs)
 	tlFlags := timeline.RegisterFlags(fs)
 	verb := cli.RegisterVerbosity(fs)
@@ -49,6 +56,23 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 
+	var accessW io.Writer
+	var accessF *os.File
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			stopTL()
+			stopObs()
+			return fmt.Errorf("serve: -access-log: %w", err)
+		}
+		accessF = f
+		accessW = f
+	}
+
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -61,6 +85,10 @@ func cmdServe(ctx context.Context, args []string) error {
 		Shards:         *shards,
 		Audit:          *auditOn,
 		AuditSample:    *auditSample,
+		SLOWindow:      *sloWindow,
+		SLOP99:         *sloP99,
+		SLOErrorRate:   *sloErrRate,
+		AccessLog:      accessW,
 	})
 	if err := srv.Listen(*addr); err != nil {
 		stopTL()
@@ -81,6 +109,11 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	if err := stopObs(); err != nil && srvErr == nil {
 		srvErr = err
+	}
+	if accessF != nil {
+		if err := accessF.Close(); err != nil && srvErr == nil {
+			srvErr = err
+		}
 	}
 	obs.SetEnabled(false)
 	return srvErr

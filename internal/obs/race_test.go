@@ -87,6 +87,71 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveVsReset races Histogram.Observe (on handles taken
+// both before and after resets) against Registry.Reset and concurrent
+// snapshot readers.  Run under -race (make race) it proves two things:
+// the get-or-create path never hands out a torn histogram, and the
+// CAS-loop float64 sum accumulation in Observe is atomic — a plain
+// load/add/store would tear under this schedule and lose observations.
+// The final exact-sum check is the teeth: every Observe(1.0) on the
+// surviving handle must be present in its sum.
+func TestHistogramObserveVsReset(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Resetter: orphans the live histogram repeatedly while writers run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Reset()
+				_ = r.Snapshot()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < iters; i++ {
+				// Re-resolve every iteration so observations hit both
+				// soon-to-be-orphaned and freshly created histograms.
+				r.Histogram("race.reset.hist", 0.5).Observe(1.0)
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Deterministic epilogue on a quiet registry: concurrent Observe on
+	// one handle must accumulate an exact float64 sum (the CAS loop).
+	h := r.Histogram("race.sum.hist", 0.5)
+	var sum sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sum.Add(1)
+		go func() {
+			defer sum.Done()
+			for i := 0; i < iters; i++ {
+				h.Observe(1.0)
+			}
+		}()
+	}
+	sum.Wait()
+	if got := h.Sum(); got != float64(workers*iters) {
+		t.Fatalf("histogram sum = %v, want %d (torn accumulation)", got, workers*iters)
+	}
+	if got := h.Count(); got != workers*iters {
+		t.Fatalf("histogram count = %d, want %d", got, workers*iters)
+	}
+}
+
 // TestProgressConcurrentWithUpdates races the reporter against counter
 // updates; meaningful under -race.
 func TestProgressConcurrentWithUpdates(t *testing.T) {

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// SLO is a rolling-window service-level evaluator over one latency
+// histogram and one requests/errors counter pair.  Each Tick takes a
+// cumulative snapshot (bucket counts + counter values) into a ring of
+// timestamped samples; the windowed view is the delta between the
+// newest sample and the oldest one still inside the window, from which
+// the evaluator derives windowed p50/p99 latency (nearest-rank over
+// the bucket deltas, reported as the matched bucket's upper bound) and
+// the windowed 5xx error rate, compares both against the configured
+// objectives, and publishes the result as gauges:
+//
+//	<prefix>.p50_us, <prefix>.p99_us       windowed latency (µs)
+//	<prefix>.error_permille                windowed error rate ×1000
+//	<prefix>.window_requests/_errors       windowed request/error counts
+//	<prefix>.window_seconds                actual window span covered
+//	<prefix>.healthy                       1 inside SLO, 0 burning
+//	<prefix>.p99_target_us, <prefix>.error_target_permille (static)
+//
+// Ticking is pull-driven: callers invoke MaybeTick from their scrape or
+// readiness handlers (rate-limited to MinInterval), so an idle process
+// pays nothing and no background goroutine is needed — the load
+// balancer polling /readyz IS the clock.  All methods are safe for
+// concurrent use.
+type SLO struct {
+	reg      *Registry
+	hist     *Histogram
+	requests *Counter
+	errors   *Counter
+	opt      SLOOptions
+
+	gP50, gP99, gErrPermille      *Gauge
+	gReqs, gErrs, gWindow, gAlive *Gauge
+
+	mu      sync.Mutex
+	samples []sloSample // oldest first; all within opt.Window of the last tick
+	status  SLOStatus
+	ticked  bool
+}
+
+// SLOOptions configures the evaluator; zero values select the
+// documented defaults.
+type SLOOptions struct {
+	// Window is the rolling evaluation span (default 60s).
+	Window time.Duration
+	// MinInterval rate-limits MaybeTick: ticks closer together than
+	// this return the cached status (default 1s).
+	MinInterval time.Duration
+	// P99Max is the latency objective: windowed p99 above it burns the
+	// SLO.  <= 0 disables the latency objective.
+	P99Max time.Duration
+	// ErrorRateMax is the error objective as a fraction in [0,1]:
+	// windowed 5xx/requests above it burns the SLO.  A negative value
+	// disables the error objective (0 means zero tolerance).
+	ErrorRateMax float64
+}
+
+func (o SLOOptions) withDefaults() SLOOptions {
+	if o.Window <= 0 {
+		o.Window = time.Minute
+	}
+	if o.MinInterval <= 0 {
+		o.MinInterval = time.Second
+	}
+	return o
+}
+
+// SLOStatus is one evaluation result.
+type SLOStatus struct {
+	At            time.Time     // tick time
+	WindowSeconds float64       // span actually covered (≤ opt.Window)
+	Requests      int64         // requests in the window
+	Errors        int64         // 5xx in the window
+	ErrorRate     float64       // Errors/Requests (0 when idle)
+	P50, P99      time.Duration // bucket-quantized windowed latency
+	Healthy       bool
+	Reason        string // first burning objective; "" while healthy
+}
+
+// sloSample is one cumulative snapshot.
+type sloSample struct {
+	at       time.Time
+	buckets  []int64
+	requests int64
+	errors   int64
+}
+
+// NewSLO builds an evaluator over hist/requests/errors, publishing its
+// gauges on reg (nil selects Default) under prefix.  The construction
+// instant becomes the first sample, so the first Tick already reports a
+// real window (everything since construction) instead of an empty one.
+func NewSLO(reg *Registry, prefix string, hist *Histogram, requests, errors *Counter, opt SLOOptions) *SLO {
+	if reg == nil {
+		reg = Default
+	}
+	s := &SLO{
+		reg:      reg,
+		hist:     hist,
+		requests: requests,
+		errors:   errors,
+		opt:      opt.withDefaults(),
+
+		gP50:         reg.Gauge(prefix + ".p50_us"),
+		gP99:         reg.Gauge(prefix + ".p99_us"),
+		gErrPermille: reg.Gauge(prefix + ".error_permille"),
+		gReqs:        reg.Gauge(prefix + ".window_requests"),
+		gErrs:        reg.Gauge(prefix + ".window_errors"),
+		gWindow:      reg.Gauge(prefix + ".window_seconds"),
+		gAlive:       reg.Gauge(prefix + ".healthy"),
+	}
+	// Static objective gauges, so a scrape shows measured-vs-target in
+	// one place (and the smoke harness can assert p99 <= target).
+	if s.opt.P99Max > 0 {
+		reg.Gauge(prefix + ".p99_target_us").Set(s.opt.P99Max.Microseconds())
+	}
+	if s.opt.ErrorRateMax >= 0 {
+		reg.Gauge(prefix + ".error_target_permille").Set(int64(s.opt.ErrorRateMax * 1000))
+	}
+	s.gAlive.Set(1) // ready until a tick proves otherwise
+	s.samples = []sloSample{s.sampleNow(time.Now())}
+	return s
+}
+
+// sampleNow snapshots the cumulative state.
+func (s *SLO) sampleNow(now time.Time) sloSample {
+	b := make([]int64, len(s.hist.buckets))
+	for i := range s.hist.buckets {
+		b[i] = s.hist.buckets[i].Load()
+	}
+	return sloSample{at: now, buckets: b, requests: s.requests.Value(), errors: s.errors.Value()}
+}
+
+// MaybeTick evaluates at most once per MinInterval: a call landing
+// closer to the previous tick returns the cached status.  Clock skew
+// guard: a cached status stamped in the future (tests inject times)
+// also short-circuits.
+func (s *SLO) MaybeTick(now time.Time) SLOStatus {
+	s.mu.Lock()
+	if s.ticked && now.Sub(s.status.At) < s.opt.MinInterval {
+		st := s.status
+		s.mu.Unlock()
+		return st
+	}
+	s.mu.Unlock()
+	return s.Tick(now)
+}
+
+// Tick takes a sample at now, evaluates the window ending there, and
+// publishes the gauges.
+func (s *SLO) Tick(now time.Time) SLOStatus {
+	cur := s.sampleNow(now)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Age out samples that fell off the window, always keeping at least
+	// one as the baseline.
+	for len(s.samples) > 1 && now.Sub(s.samples[0].at) > s.opt.Window {
+		s.samples = s.samples[1:]
+	}
+	base := cur
+	if len(s.samples) > 0 {
+		base = s.samples[0]
+	}
+	s.samples = append(s.samples, cur)
+
+	st := SLOStatus{At: now, WindowSeconds: now.Sub(base.at).Seconds(), Healthy: true}
+	st.Requests = clampNonNeg(cur.requests - base.requests)
+	st.Errors = clampNonNeg(cur.errors - base.errors)
+	if st.Requests > 0 {
+		st.ErrorRate = float64(st.Errors) / float64(st.Requests)
+	}
+	deltas := make([]int64, len(cur.buckets))
+	for i := range deltas {
+		if i < len(base.buckets) {
+			deltas[i] = clampNonNeg(cur.buckets[i] - base.buckets[i])
+		} else {
+			deltas[i] = cur.buckets[i]
+		}
+	}
+	st.P50 = bucketQuantile(s.hist.bounds, deltas, 0.50)
+	st.P99 = bucketQuantile(s.hist.bounds, deltas, 0.99)
+
+	if s.opt.P99Max > 0 && st.P99 > s.opt.P99Max {
+		st.Healthy = false
+		st.Reason = fmt.Sprintf("p99 %s exceeds objective %s", st.P99, s.opt.P99Max)
+	}
+	if st.Healthy && s.opt.ErrorRateMax >= 0 && st.ErrorRate > s.opt.ErrorRateMax {
+		st.Healthy = false
+		st.Reason = fmt.Sprintf("error rate %.4f exceeds objective %.4f", st.ErrorRate, s.opt.ErrorRateMax)
+	}
+
+	s.status = st
+	s.ticked = true
+	s.gP50.Set(st.P50.Microseconds())
+	s.gP99.Set(st.P99.Microseconds())
+	s.gErrPermille.Set(int64(st.ErrorRate * 1000))
+	s.gReqs.Set(st.Requests)
+	s.gErrs.Set(st.Errors)
+	s.gWindow.Set(int64(st.WindowSeconds))
+	if st.Healthy {
+		s.gAlive.Set(1)
+	} else {
+		s.gAlive.Set(0)
+	}
+	return st
+}
+
+// Status returns the most recent evaluation without ticking.
+func (s *SLO) Status() SLOStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+func clampNonNeg(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// bucketQuantile is the nearest-rank quantile over non-cumulative
+// bucket deltas: the returned value is the upper bound of the bucket
+// the rank lands in — quantized, but monotone and cheap, which is what
+// a threshold comparison needs.  A rank landing in the +Inf bucket
+// reports the largest finite bound (already past any sane objective).
+// Zero observations report zero, so an idle window is trivially within
+// SLO.
+func bucketQuantile(bounds []float64, deltas []int64, q float64) time.Duration {
+	var total int64
+	for _, d := range deltas {
+		total += d
+	}
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, d := range deltas {
+		cum += d
+		if cum >= rank {
+			if i < len(bounds) {
+				return secondsToDuration(bounds[i])
+			}
+			break
+		}
+	}
+	return secondsToDuration(bounds[len(bounds)-1])
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloFixture builds an SLO over a private registry with injected-time
+// ticks: 10s window, 100ms p99 objective, 10% error objective.
+func sloFixture(t *testing.T) (*Registry, *SLO, *Histogram, *Counter, *Counter, time.Time) {
+	t.Helper()
+	r := NewRegistry()
+	h := r.Histogram("t.seconds", 0.001, 0.01, 0.1, 1)
+	reqs := r.Counter("t.requests")
+	errs := r.Counter("t.errors")
+	s := NewSLO(r, "t.slo", h, reqs, errs, SLOOptions{
+		Window:       10 * time.Second,
+		MinInterval:  time.Second,
+		P99Max:       100 * time.Millisecond,
+		ErrorRateMax: 0.10,
+	})
+	return r, s, h, reqs, errs, time.Now()
+}
+
+func TestSLOIdleIsHealthy(t *testing.T) {
+	_, s, _, _, _, t0 := sloFixture(t)
+	st := s.Tick(t0.Add(2 * time.Second))
+	if !st.Healthy || st.Requests != 0 || st.P99 != 0 || st.ErrorRate != 0 {
+		t.Fatalf("idle status = %+v, want healthy zeroes", st)
+	}
+}
+
+func TestSLOWindowedLatency(t *testing.T) {
+	r, s, h, reqs, _, t0 := sloFixture(t)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005) // all land in the 0.01 bucket
+		reqs.Inc()
+	}
+	st := s.Tick(t0.Add(2 * time.Second))
+	if !st.Healthy {
+		t.Fatalf("fast traffic burned the SLO: %+v", st)
+	}
+	if st.P99 != 10*time.Millisecond || st.P50 != 10*time.Millisecond {
+		t.Errorf("p50/p99 = %s/%s, want 10ms bucket bound for both", st.P50, st.P99)
+	}
+	if st.Requests != 100 {
+		t.Errorf("window requests = %d, want 100", st.Requests)
+	}
+	if got := r.Gauge("t.slo.p99_us").Value(); got != 10000 {
+		t.Errorf("p99 gauge = %d, want 10000", got)
+	}
+	if got := r.Gauge("t.slo.healthy").Value(); got != 1 {
+		t.Errorf("healthy gauge = %d, want 1", got)
+	}
+
+	// A slow tail pushes p99 past the objective.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.5) // 1s bucket
+		reqs.Inc()
+	}
+	st = s.Tick(t0.Add(4 * time.Second))
+	if st.Healthy {
+		t.Fatalf("slow tail did not burn the SLO: %+v", st)
+	}
+	if st.P99 != time.Second {
+		t.Errorf("p99 = %s, want 1s bucket bound", st.P99)
+	}
+	if !strings.Contains(st.Reason, "p99") {
+		t.Errorf("reason = %q, want a p99 burn", st.Reason)
+	}
+	if got := r.Gauge("t.slo.healthy").Value(); got != 0 {
+		t.Errorf("healthy gauge = %d, want 0", got)
+	}
+}
+
+func TestSLOErrorRateBurn(t *testing.T) {
+	_, s, h, reqs, errs, t0 := sloFixture(t)
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001)
+		reqs.Inc()
+	}
+	errs.Add(20) // 20% > the 10% objective
+	st := s.Tick(t0.Add(2 * time.Second))
+	if st.Healthy {
+		t.Fatalf("20%% errors did not burn the SLO: %+v", st)
+	}
+	if st.ErrorRate != 0.2 || st.Errors != 20 {
+		t.Errorf("error rate/errors = %v/%d, want 0.2/20", st.ErrorRate, st.Errors)
+	}
+	if !strings.Contains(st.Reason, "error rate") {
+		t.Errorf("reason = %q, want an error-rate burn", st.Reason)
+	}
+}
+
+// TestSLOWindowAges: burn traffic falls out of the rolling window and
+// the evaluator recovers on its own.
+func TestSLOWindowAges(t *testing.T) {
+	_, s, h, reqs, errs, t0 := sloFixture(t)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		reqs.Inc()
+	}
+	errs.Add(10)
+	if st := s.Tick(t0.Add(2 * time.Second)); st.Healthy {
+		t.Fatalf("burn not detected: %+v", st)
+	}
+	// Two window-widths later with no new traffic, the old samples have
+	// aged out and the window delta is clean.
+	s.Tick(t0.Add(15 * time.Second))
+	st := s.Tick(t0.Add(25 * time.Second))
+	if !st.Healthy || st.Requests != 0 {
+		t.Fatalf("status after burn aged out = %+v, want healthy and idle", st)
+	}
+}
+
+// TestSLOMaybeTickRateLimit: calls inside MinInterval return the cached
+// status without re-sampling.
+func TestSLOMaybeTickRateLimit(t *testing.T) {
+	_, s, h, reqs, _, t0 := sloFixture(t)
+	at := t0.Add(2 * time.Second)
+	st1 := s.MaybeTick(at)
+	h.Observe(0.5)
+	reqs.Inc()
+	st2 := s.MaybeTick(at.Add(100 * time.Millisecond))
+	if !st2.At.Equal(st1.At) || st2.Requests != st1.Requests {
+		t.Fatalf("MaybeTick inside MinInterval re-evaluated: %+v vs %+v", st2, st1)
+	}
+	st3 := s.MaybeTick(at.Add(2 * time.Second))
+	if st3.At.Equal(st1.At) || st3.Requests != 1 {
+		t.Fatalf("MaybeTick past MinInterval did not re-evaluate: %+v", st3)
+	}
+}
+
+func TestSLOObjectivesDisabled(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.seconds", 0.001, 1)
+	reqs, errs := r.Counter("t.requests"), r.Counter("t.errors")
+	s := NewSLO(r, "t.slo", h, reqs, errs, SLOOptions{P99Max: -1, ErrorRateMax: -1})
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // +Inf bucket
+		reqs.Inc()
+	}
+	errs.Add(10)
+	if st := s.Tick(time.Now().Add(2 * time.Second)); !st.Healthy {
+		t.Fatalf("disabled objectives still burned: %+v", st)
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+	cases := []struct {
+		deltas []int64
+		q      float64
+		want   time.Duration
+	}{
+		{[]int64{0, 0, 0, 0, 0}, 0.99, 0},
+		{[]int64{100, 0, 0, 0, 0}, 0.99, time.Millisecond},
+		{[]int64{99, 0, 0, 1, 0}, 0.99, time.Millisecond}, // nearest rank: 99th of 100 is still fast
+		{[]int64{98, 0, 0, 2, 0}, 0.99, time.Second},
+		{[]int64{99, 0, 0, 1, 0}, 0.50, time.Millisecond},
+		{[]int64{0, 0, 0, 0, 5}, 0.50, time.Second}, // +Inf rank floors at the last finite bound
+		{[]int64{50, 50, 0, 0, 0}, 0.50, time.Millisecond},
+		{[]int64{50, 50, 0, 0, 0}, 0.51, 10 * time.Millisecond},
+	}
+	for _, c := range cases {
+		if got := bucketQuantile(bounds, c.deltas, c.q); got != c.want {
+			t.Errorf("bucketQuantile(%v, q=%v) = %s, want %s", c.deltas, c.q, got, c.want)
+		}
+	}
+}

@@ -26,11 +26,15 @@ func WriteChromeTrace(w io.Writer, events []Event, dropped uint64) error {
 		if i == 0 {
 			sep = ""
 		}
+		note := ""
+		if ev.Note != "" {
+			note = fmt.Sprintf(",\"note\":%q", ev.Note)
+		}
 		_, err := fmt.Fprintf(w,
-			"%s\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"ok\":%v}}",
+			"%s\n{\"name\":%q,\"cat\":%q,\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":1,\"tid\":%d,\"args\":{\"id\":%d,\"ok\":%v%s}}",
 			sep, ev.Name, ev.Cat,
 			ev.Start.Sub(epoch).Microseconds(), ev.Dur.Microseconds(),
-			laneFor(ev), ev.ID, ev.OK)
+			laneFor(ev), ev.ID, ev.OK, note)
 		if err != nil {
 			return err
 		}
@@ -74,9 +78,13 @@ func WriteJournal(w io.Writer, events []Event, dropped uint64) error {
 		epoch = events[0].Start
 	}
 	for _, ev := range events {
-		_, err := fmt.Fprintf(w, "event t_us=%d dur_us=%d cat=%s name=%s id=%d ok=%v\n",
+		note := ""
+		if ev.Note != "" {
+			note = fmt.Sprintf(" note=%q", ev.Note)
+		}
+		_, err := fmt.Fprintf(w, "event t_us=%d dur_us=%d cat=%s name=%s id=%d ok=%v%s\n",
 			ev.Start.Sub(epoch).Microseconds(), ev.Dur.Microseconds(),
-			ev.Cat, ev.Name, ev.ID, ev.OK)
+			ev.Cat, ev.Name, ev.ID, ev.OK, note)
 		if err != nil {
 			return err
 		}

@@ -57,6 +57,7 @@ type Event struct {
 	Cat   string        // one of the Cat* constants
 	Name  string        // dotted site name ("core.stream", "grb.mxm")
 	ID    int           // shard/rank index; 0 where there is no natural lane
+	Note  string        // free-form correlation annotation ("req_id=… trace_id=…"); usually empty
 	OK    bool          // completed without error (kernel events record call completion)
 	Start time.Time
 	Dur   time.Duration
@@ -168,10 +169,18 @@ type Done func(err error)
 //		end(err)
 //	}
 func (r *Recorder) Begin(cat, name string, id int) Done {
+	return r.BeginNote(cat, name, id, "")
+}
+
+// BeginNote is Begin with a correlation note attached to the recorded
+// event — the serve layer stamps request/trace identity onto per-job
+// lane events this way, so a distributed trace id can be grepped out of
+// the journal or read in the Chrome trace args pane.
+func (r *Recorder) BeginNote(cat, name string, id int, note string) Done {
 	start := time.Now()
 	return func(err error) {
 		r.Record(Event{
-			Cat: cat, Name: name, ID: id, OK: err == nil,
+			Cat: cat, Name: name, ID: id, Note: note, OK: err == nil,
 			Start: start, Dur: time.Since(start),
 		})
 	}
@@ -180,4 +189,10 @@ func (r *Recorder) Begin(cat, name string, id int) Done {
 // Begin opens an event on the Default recorder; see Recorder.Begin.
 func Begin(cat, name string, id int) Done {
 	return Default.Begin(cat, name, id)
+}
+
+// BeginNote opens an annotated event on the Default recorder; see
+// Recorder.BeginNote.
+func BeginNote(cat, name string, id int, note string) Done {
+	return Default.BeginNote(cat, name, id, note)
 }

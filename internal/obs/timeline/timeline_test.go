@@ -89,6 +89,46 @@ func TestWriteJournal(t *testing.T) {
 	}
 }
 
+// TestEventNoteRendering: an annotated event carries its note into both
+// exports; unannotated events render exactly as before (the goldens
+// above pin that).
+func TestEventNoteRendering(t *testing.T) {
+	epoch := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	evs := []Event{{
+		Cat: CatJob, Name: "serve.job", ID: 3, OK: true,
+		Note:  `req_id=r-1 trace_id=4bf92f3577b34da6a3ce929d0e0e4736`,
+		Start: epoch, Dur: time.Millisecond,
+	}}
+	var trace, journal bytes.Buffer
+	if err := WriteChromeTrace(&trace, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(trace.String(), `"note":"req_id=r-1 trace_id=4bf92f3577b34da6a3ce929d0e0e4736"`) {
+		t.Errorf("chrome trace lacks the note:\n%s", trace.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("annotated trace is not valid JSON: %v", err)
+	}
+	if err := WriteJournal(&journal, evs, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(journal.String(), `note="req_id=r-1 trace_id=4bf92f3577b34da6a3ce929d0e0e4736"`) {
+		t.Errorf("journal lacks the note:\n%s", journal.String())
+	}
+}
+
+// TestBeginNote records the note through the Done closure.
+func TestBeginNote(t *testing.T) {
+	r := NewRecorder(8)
+	end := r.BeginNote(CatJob, "serve.job", 1, "req_id=abc")
+	end(nil)
+	events, _ := r.Snapshot()
+	if len(events) != 1 || events[0].Note != "req_id=abc" {
+		t.Fatalf("events = %+v, want one with note req_id=abc", events)
+	}
+}
+
 func TestRecorderWraparound(t *testing.T) {
 	r := NewRecorder(4)
 	epoch := time.Now()

@@ -22,6 +22,7 @@ import (
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/truth", s.handleTruth)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -29,9 +30,21 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleJobEdges)
-	mux.Handle("GET /metrics", obs.Default.MetricsHandler())
-	mux.Handle("GET /metrics.json", obs.Default.JSONHandler())
+	mux.HandleFunc("GET /v1/jobs/{id}/obs", s.handleJobObs)
+	mux.Handle("GET /metrics", s.sloFresh(obs.Default.MetricsHandler()))
+	mux.Handle("GET /metrics.json", s.sloFresh(obs.Default.JSONHandler()))
 	return mux
+}
+
+// sloFresh re-evaluates the SLO window (rate-limited) before a metrics
+// scrape so the serve.slo.* gauges a scraper reads are at most
+// MinInterval stale — the scraper and the /readyz poller are jointly
+// the evaluator's clock.
+func (s *Server) sloFresh(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.slo.MaybeTick(time.Now())
+		h.ServeHTTP(w, r)
+	})
 }
 
 // writeJSON renders v with the given status.
@@ -84,6 +97,10 @@ func (s *Server) syncContext(r *http.Request) (context.Context, context.CancelFu
 	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }
 
+// handleHealthz is liveness: it answers 200 for as long as the process
+// can serve HTTP at all — including during a drain, so an orchestrator
+// does not kill a server that is still finishing jobs.  Readiness (take
+// me out of rotation) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, running := s.mgr.counts()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -95,6 +112,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"running": running,
 		},
 	})
+}
+
+// handleReadyz is readiness: 503 while draining (shutdown started) or
+// while the rolling-window SLO is burning, 200 otherwise.  Each poll
+// advances the SLO evaluator (rate-limited to its MinInterval), so a
+// load balancer's health checks double as the evaluation clock — no
+// background goroutine needed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	st := s.slo.MaybeTick(time.Now())
+	body := map[string]any{
+		"status": "ready",
+		"slo": map[string]any{
+			"healthy":         st.Healthy,
+			"window_seconds":  st.WindowSeconds,
+			"window_requests": st.Requests,
+			"window_errors":   st.Errors,
+			"error_rate":      st.ErrorRate,
+			"p50_ms":          float64(st.P50.Microseconds()) / 1000,
+			"p99_ms":          float64(st.P99.Microseconds()) / 1000,
+			"reason":          st.Reason,
+		},
+	}
+	if !st.Healthy {
+		body["status"] = "slo-burn"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // statsResponse is the /v1/stats payload: the Table I shape, answered
@@ -306,7 +355,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Audit != nil {
 		auditOn = *req.Audit
 	}
-	j, err := s.mgr.submit(sp, p, auditOn)
+	j, err := s.mgr.submit(sp, p, auditOn, requestFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrTooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)

@@ -65,6 +65,12 @@ type Job struct {
 	spec    spec.Spec
 	product *core.Product
 	auditOn bool
+	// Correlation identity of the submitting request: echoed in job
+	// status and stamped on the job's timeline-lane events, so a
+	// distributed trace reaching POST /v1/jobs can be followed into the
+	// generation run it started.
+	reqID   string
+	traceID string
 	// ctx is cancelled by DELETE, eviction or manager close — NOT by
 	// normal completion, so edge-stream requests for a finished job
 	// keep working until the job is evicted.
@@ -97,6 +103,8 @@ type JobStatus struct {
 	AuditViolations  int     `json:"audit_violations,omitempty"`
 	Created          string  `json:"created"`
 	RunSeconds       float64 `json:"run_seconds,omitempty"`
+	RequestID        string  `json:"request_id,omitempty"` // submitting request
+	TraceID          string  `json:"trace_id,omitempty"`
 }
 
 // Status snapshots the job for the API.
@@ -115,6 +123,8 @@ func (j *Job) Status() JobStatus {
 		AuditChecks:      j.auditChecks,
 		AuditViolations:  j.auditViolations,
 		Created:          j.created.UTC().Format(time.RFC3339Nano),
+		RequestID:        j.reqID,
+		TraceID:          j.traceID,
 	}
 	if !j.started.IsZero() {
 		end := j.finished
@@ -221,7 +231,7 @@ func newManager(cfg Config) *manager {
 // edge count busts the budget (checked from factor stats alone, before
 // any generation), ErrSaturated when the queue is full, ErrDraining
 // during shutdown.
-func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool) (*Job, error) {
+func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri requestInfo) (*Job, error) {
 	if m.cfg.MaxEdges > 0 && p.NumEdges() > m.cfg.MaxEdges {
 		mRejected.Inc()
 		return nil, fmt.Errorf("%w: |E_C|=%d > budget %d", ErrTooLarge, p.NumEdges(), m.cfg.MaxEdges)
@@ -239,6 +249,8 @@ func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool) (*Job, err
 		spec:    sp,
 		product: p,
 		auditOn: auditOn,
+		reqID:   ri.id,
+		traceID: ri.traceID,
 		ctx:     jctx,
 		cancel:  jcancel,
 		state:   StateQueued,
@@ -399,7 +411,11 @@ func (m *manager) run(j *Job) {
 	}
 	var end timeline.Done
 	if timeline.Enabled() {
-		end = timeline.Begin(timeline.CatJob, "serve.job", j.seq)
+		// The submitting request's identity rides on the job-lane event,
+		// so a trace id seen at POST /v1/jobs can be grepped out of the
+		// journal or read in the Chrome trace args pane.
+		end = timeline.BeginNote(timeline.CatJob, "serve.job", j.seq,
+			"req_id="+j.reqID+" trace_id="+j.traceID)
 	}
 	err := m.generate(ctx, j)
 	if end != nil {

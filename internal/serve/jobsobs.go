@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"kronbip/internal/obs/timeline"
+)
+
+// GET /v1/jobs/{id}/obs — the per-job observability view: the job's
+// correlation identity, its throughput (edges per second over the run),
+// and — when timeline recording is on — the job-lane events plus a
+// straggler summary of the generation shards that ran inside the job's
+// [started, finished] window.
+//
+// Shard attribution is by time window: core shard events carry no job
+// identity (the generation engine is job-agnostic), so with concurrent
+// jobs the shard summary can include a neighbour's shards.  The
+// job-lane events and identity fields are always exact.
+
+// jobObsResponse is the endpoint payload.
+type jobObsResponse struct {
+	ID              string  `json:"id"`
+	State           string  `json:"state"`
+	RequestID       string  `json:"request_id,omitempty"`
+	TraceID         string  `json:"trace_id,omitempty"`
+	EdgesStreamed   int64   `json:"edges_streamed"`
+	RunSeconds      float64 `json:"run_seconds,omitempty"`
+	EdgesPerSecond  float64 `json:"edges_per_second,omitempty"`
+	TimelineEnabled bool    `json:"timeline_enabled"`
+
+	JobEvents []jobObsEvent `json:"job_events,omitempty"`
+	Shards    *jobObsShards `json:"shards,omitempty"`
+}
+
+// jobObsEvent is one event from the job's timeline lane.
+type jobObsEvent struct {
+	Name       string  `json:"name"`
+	OK         bool    `json:"ok"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// jobObsShards summarizes the generation shards attributed to the job.
+type jobObsShards struct {
+	Count          int     `json:"count"`
+	Failed         int     `json:"failed"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+	MaxMS          float64 `json:"max_ms"`
+	MeanMS         float64 `json:"mean_ms"`
+	StragglerRatio float64 `json:"straggler_ratio"`
+	Approximate    bool    `json:"approximate"` // window attribution, see package comment
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func (s *Server) handleJobObs(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFromPath(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	resp := jobObsResponse{
+		ID:              st.ID,
+		State:           st.State,
+		RequestID:       st.RequestID,
+		TraceID:         st.TraceID,
+		EdgesStreamed:   st.EdgesStreamed,
+		RunSeconds:      st.RunSeconds,
+		TimelineEnabled: timeline.Enabled(),
+	}
+	if st.RunSeconds > 0 {
+		resp.EdgesPerSecond = float64(st.EdgesStreamed) / st.RunSeconds
+	}
+	if resp.TimelineEnabled {
+		events, _ := timeline.Default.Snapshot()
+		j.mu.Lock()
+		started, finished := j.started, j.finished
+		j.mu.Unlock()
+		var shardEvents []timeline.Event
+		for _, ev := range events {
+			switch {
+			case ev.Cat == timeline.CatJob && ev.ID == j.seq:
+				resp.JobEvents = append(resp.JobEvents, jobObsEvent{
+					Name:       ev.Name,
+					OK:         ev.OK,
+					Start:      ev.Start.UTC().Format(time.RFC3339Nano),
+					DurationMS: durMS(ev.Dur),
+					Note:       ev.Note,
+				})
+			case ev.Cat == timeline.CatShard && !started.IsZero():
+				// Window attribution: the shard ran inside the job's
+				// lifetime (an unfinished job's window is open-ended).
+				end := ev.Start.Add(ev.Dur)
+				if end.Before(started) {
+					continue
+				}
+				if !finished.IsZero() && ev.Start.After(finished) {
+					continue
+				}
+				shardEvents = append(shardEvents, ev)
+			}
+		}
+		if len(shardEvents) > 0 {
+			for _, g := range timeline.Stats(shardEvents) {
+				if g.Cat != timeline.CatShard {
+					continue
+				}
+				resp.Shards = &jobObsShards{
+					Count:          g.Count,
+					Failed:         g.Failed,
+					P50MS:          durMS(g.P50),
+					P99MS:          durMS(g.P99),
+					MaxMS:          durMS(g.Max),
+					MeanMS:         durMS(g.Mean),
+					StragglerRatio: g.StragglerRatio,
+					Approximate:    true,
+				}
+				break
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -8,14 +8,17 @@ import (
 	"time"
 
 	"kronbip/internal/cli"
+	"kronbip/internal/obs"
 )
 
-// statusWriter captures the response status for metrics while keeping
-// http.Flusher reachable for the streaming endpoint.
+// statusWriter captures the response status and body byte count for
+// metrics while keeping http.Flusher reachable for the streaming
+// endpoint.
 type statusWriter struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	bytes int64 // body bytes written (headers and trailers excluded)
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -28,7 +31,9 @@ func (w *statusWriter) WriteHeader(code int) {
 
 func (w *statusWriter) Write(b []byte) (int, error) {
 	w.wrote = true
-	return w.ResponseWriter.Write(b)
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // Flush forwards to the underlying writer so edge streams can
@@ -40,29 +45,72 @@ func (w *statusWriter) Flush() {
 }
 
 // withMiddleware wraps the route mux with the service-wide concerns:
-// request metrics, the version Server header, and panic recovery (a
-// handler panic answers 500 and keeps the server up instead of killing
-// the connection's goroutine with the process state unknown).
+// request identity (request id + W3C trace context, accepted or minted,
+// echoed on every response), request metrics — the unlabeled totals plus
+// the per-route RED series and the SLO latency histogram, both gated on
+// one obs.Enabled load per request (DESIGN.md §6a) — the logfmt access
+// log, the version Server header, and panic recovery (a handler panic
+// answers 500 and keeps the server up instead of killing the
+// connection's goroutine with the process state unknown; the 500 reaches
+// the RED error counter even when the handler had already written a
+// success header).
 func (s *Server) withMiddleware(h http.Handler) http.Handler {
 	serverToken := cli.Build().ServerToken()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		enabled := obs.Enabled()
+		ri := resolveIdentity(r)
+		r = r.WithContext(withRequestInfo(r.Context(), ri))
 		mRequests.Inc()
-		w.Header().Set("Server", serverToken)
+		hdr := w.Header()
+		hdr.Set("Server", serverToken)
+		hdr.Set(HeaderRequestID, ri.id)
+		hdr.Set(HeaderTraceparent, ri.traceparent())
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		defer func() {
+			status := sw.code
 			if p := recover(); p != nil {
+				// A recovered panic is a 500 for accounting even when the
+				// handler already committed a success header.
+				status = http.StatusInternalServerError
 				mPanics.Inc()
 				mErrors.Inc()
-				fmt.Fprintf(os.Stderr, "serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				fmt.Fprintf(os.Stderr, "serve: panic in %s %s (req_id=%s): %v\n%s",
+					r.Method, r.URL.Path, ri.id, p, debug.Stack())
 				if !sw.wrote {
 					writeError(sw, http.StatusInternalServerError, "internal error")
 				}
-			} else if sw.code >= 500 {
+			} else if status >= 500 {
 				mErrors.Inc()
 			}
-			hRequestSecs.Observe(time.Since(start).Seconds())
+			elapsed := time.Since(start).Seconds()
+			hRequestSecs.Observe(elapsed)
+			route := routeLabel(r)
+			if enabled {
+				s.red.Route(route).Observe(status, elapsed, sw.bytes)
+				// Edge streams are excluded from the latency SLO: a
+				// legitimate multi-minute stream is not a burn.
+				if route != "jobs.edges" {
+					s.sloHist.Observe(elapsed)
+				}
+			}
+			s.logAccess(r, ri, route, status, sw.bytes, elapsed)
 		}()
 		h.ServeHTTP(sw, r)
 	})
+}
+
+// logAccess emits one logfmt access-log line when the server has an
+// access-log writer; a nil writer costs one comparison.  The mutex keeps
+// concurrent request lines whole.
+func (s *Server) logAccess(r *http.Request, ri requestInfo, route string, status int, bytes int64, seconds float64) {
+	if s.cfg.AccessLog == nil {
+		return
+	}
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	fmt.Fprintf(s.cfg.AccessLog,
+		"access t=%s method=%s path=%q route=%s status=%d bytes=%d dur_ms=%.3f req_id=%s trace_id=%s\n",
+		time.Now().UTC().Format(time.RFC3339Nano), r.Method, r.URL.RequestURI(),
+		route, status, bytes, seconds*1000, ri.id, ri.traceID)
 }

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Request identity and trace propagation.  Every request gets a request
+// id (accepted from X-Kronbip-Request-Id or generated) and a W3C trace
+// context (traceparent accepted or generated, always re-signed with a
+// fresh span id for this hop).  Both are echoed on the response, stamped
+// on every access-log line, threaded into the job a submission creates,
+// and — for edge streams — repeated as a trailer so a consumer that
+// piped the body somewhere can still recover the correlation key at EOF.
+//
+// Identity generation is deliberately cheap (DESIGN.md §6a): one
+// crypto/rand read at process start seeds a 16-hex process prefix, and
+// each id after that is the prefix plus an atomic counter — no
+// per-request crypto, no allocation beyond the string itself.
+
+// Correlation header names.  HeaderTraceparent is the W3C trace-context
+// header (https://www.w3.org/TR/trace-context/); HeaderRequestID is the
+// service's own id, honored when the client supplies one.
+const (
+	HeaderRequestID   = "X-Kronbip-Request-Id"
+	HeaderTraceparent = "Traceparent"
+)
+
+// procPrefix is the process-unique 16-hex identity prefix; reqSeq
+// disambiguates requests within the process.
+var (
+	procPrefix = func() string {
+		var b [8]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// crypto/rand failing is a broken platform; fall back to a
+			// fixed prefix rather than refusing to serve.
+			return "0000000000000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqSeq atomic.Uint64
+)
+
+// newRequestID returns a fresh request id: "req-<prefix>-<n>".
+func newRequestID() string {
+	return fmt.Sprintf("req-%s-%d", procPrefix, reqSeq.Add(1))
+}
+
+// newTraceID returns a fresh 32-hex W3C trace id (process prefix +
+// counter half), unique per process without per-request crypto.
+func newTraceID() string {
+	return fmt.Sprintf("%s%016x", procPrefix, reqSeq.Add(1))
+}
+
+// newSpanID returns a fresh 16-hex W3C span id.
+func newSpanID() string {
+	return fmt.Sprintf("%016x", reqSeq.Add(1))
+}
+
+// requestInfo is the per-request correlation identity, carried on the
+// request context from the middleware down to handlers and the job
+// manager.
+type requestInfo struct {
+	id      string // request id (client-supplied or generated)
+	traceID string // 32-hex W3C trace id
+	spanID  string // this hop's 16-hex span id
+}
+
+// traceparent renders the info as an outgoing W3C traceparent value.
+func (ri requestInfo) traceparent() string {
+	return "00-" + ri.traceID + "-" + ri.spanID + "-01"
+}
+
+type requestInfoKey struct{}
+
+// requestFrom extracts the correlation identity installed by
+// withMiddleware; the zero value outside it (direct handler tests).
+func requestFrom(ctx context.Context) requestInfo {
+	ri, _ := ctx.Value(requestInfoKey{}).(requestInfo)
+	return ri
+}
+
+// withRequestInfo installs the identity on a context.
+func withRequestInfo(ctx context.Context, ri requestInfo) context.Context {
+	return context.WithValue(ctx, requestInfoKey{}, ri)
+}
+
+// isHex reports whether s is exactly n lowercase hex digits.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// parseTraceparent validates an incoming traceparent header per the W3C
+// trace-context spec (version-traceid-spanid-flags) and returns the
+// trace id it carries.  Invalid values are ignored — the middleware
+// starts a fresh trace rather than propagating garbage.
+func parseTraceparent(v string) (traceID string, ok bool) {
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return "", false
+	}
+	ver, tid, sid, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(ver, 2) || ver == "ff" {
+		return "", false
+	}
+	if !isHex(tid, 32) || tid == strings.Repeat("0", 32) {
+		return "", false
+	}
+	if !isHex(sid, 16) || sid == strings.Repeat("0", 16) {
+		return "", false
+	}
+	if !isHex(flags, 2) {
+		return "", false
+	}
+	return tid, true
+}
+
+// resolveIdentity builds the request's correlation identity: honor a
+// client-supplied request id (bounded, single-line) and traceparent,
+// generate what is missing, and always mint a fresh span id for this
+// hop.
+func resolveIdentity(r *http.Request) requestInfo {
+	ri := requestInfo{spanID: newSpanID()}
+	if id := r.Header.Get(HeaderRequestID); id != "" && len(id) <= 128 && !strings.ContainsAny(id, " \t\r\n\"") {
+		ri.id = id
+	} else {
+		ri.id = newRequestID()
+	}
+	if tid, ok := parseTraceparent(r.Header.Get(HeaderTraceparent)); ok {
+		ri.traceID = tid
+	} else {
+		ri.traceID = newTraceID()
+	}
+	return ri
+}
+
+// routeLabel maps a request to its bounded metric label — the RED series
+// cardinality contract.  Path parameters collapse (every job id is
+// "jobs.get") and unknown paths collapse to "other", so a scanner
+// spraying random URLs cannot grow the registry.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/healthz":
+		return "healthz"
+	case p == "/readyz":
+		return "readyz"
+	case p == "/metrics":
+		return "metrics"
+	case p == "/metrics.json":
+		return "metrics.json"
+	case p == "/v1/stats":
+		return "stats"
+	case p == "/v1/truth":
+		return "truth"
+	case p == "/v1/jobs":
+		if r.Method == http.MethodPost {
+			return "jobs.submit"
+		}
+		return "jobs.list"
+	case strings.HasPrefix(p, "/v1/jobs/"):
+		switch {
+		case strings.HasSuffix(p, "/edges"):
+			return "jobs.edges"
+		case strings.HasSuffix(p, "/obs"):
+			return "jobs.obs"
+		case r.Method == http.MethodDelete:
+			return "jobs.cancel"
+		default:
+			return "jobs.get"
+		}
+	default:
+		return "other"
+	}
+}
+
+// routeLabels is the full route-label set, pre-resolved at server
+// construction so the RED table never grows on the request path and the
+// exported metric-name table is deterministic from the first scrape.
+var routeLabels = []string{
+	"healthz", "readyz", "metrics", "metrics.json", "stats", "truth",
+	"jobs.submit", "jobs.list", "jobs.get", "jobs.cancel", "jobs.edges",
+	"jobs.obs", "other",
+}

@@ -35,9 +35,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"kronbip/internal/obs"
@@ -105,6 +108,20 @@ type Config struct {
 	// AuditSample is the auditor's edge-membership sampling stride
 	// (0 = the audit package default).
 	AuditSample int
+	// SLOWindow is the rolling span the SLO evaluator judges over
+	// (default 60s).
+	SLOWindow time.Duration
+	// SLOP99 is the latency objective for the non-streaming routes:
+	// windowed p99 above it flips /readyz to 503 (default 1s; negative
+	// disables the latency objective).
+	SLOP99 time.Duration
+	// SLOErrorRate is the 5xx error-rate objective as a fraction
+	// (default 0.05; negative disables the error objective).
+	SLOErrorRate float64
+	// AccessLog, when non-nil, receives one logfmt line per request
+	// carrying method, route, status, bytes, duration and the request/
+	// trace ids.  Nil disables access logging entirely.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +152,15 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
+	if c.SLOWindow <= 0 {
+		c.SLOWindow = time.Minute
+	}
+	if c.SLOP99 == 0 {
+		c.SLOP99 = time.Second
+	}
+	if c.SLOErrorRate == 0 {
+		c.SLOErrorRate = 0.05
+	}
 	return c
 }
 
@@ -149,6 +175,17 @@ type Server struct {
 	httpSrv *http.Server
 	ln      net.Listener
 	started time.Time
+
+	// Observability state: the per-route RED resolver, the SLO latency
+	// source (non-streaming routes only) and the rolling-window
+	// evaluator behind /readyz.  draining flips readiness ahead of
+	// shutdown so a load balancer stops routing before the listener
+	// closes; logMu keeps concurrent access-log lines whole.
+	red      *obs.RED
+	sloHist  *obs.Histogram
+	slo      *obs.SLO
+	draining atomic.Bool
+	logMu    sync.Mutex
 }
 
 // New builds a Server from cfg.  The job manager's workers start
@@ -160,6 +197,19 @@ func New(cfg Config) *Server {
 		cache:   newProductCache(cfg.CacheSize),
 		mgr:     newManager(cfg),
 		started: time.Now(),
+		red:     obs.NewRED(obs.Default, "serve.http"),
+		sloHist: obs.Default.Histogram("serve.slo.seconds"),
+	}
+	s.slo = obs.NewSLO(obs.Default, "serve.slo", s.sloHist, mRequests, mErrors, obs.SLOOptions{
+		Window:       cfg.SLOWindow,
+		P99Max:       cfg.SLOP99,
+		ErrorRateMax: cfg.SLOErrorRate,
+	})
+	// Pre-resolve the full route-label table so the RED map never grows
+	// on the request path and the exported name set is deterministic
+	// from the first scrape.
+	for _, route := range routeLabels {
+		s.red.Route(route)
 	}
 	s.handler = s.withMiddleware(s.routes())
 	return s
@@ -216,6 +266,7 @@ func (s *Server) Serve(ctx context.Context, drainTimeout time.Duration) error {
 // complete — all bounded by drainTimeout, after which remaining work is
 // cancelled hard.  Safe to call without Serve (httptest usage).
 func (s *Server) Shutdown(drainTimeout time.Duration) error {
+	s.draining.Store(true) // /readyz answers 503 for the whole drain
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	err := s.mgr.drain(dctx)

@@ -209,4 +209,11 @@ func (s *Server) handleJobEdges(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set(TrailerStatus, status)
 	w.Header().Set(TrailerEdges, strconv.FormatInt(out.n, 10))
+	// Repeat the request id as an unannounced trailer (TrailerPrefix):
+	// it already went out as a response header, but a consumer that
+	// piped the multi-GB body elsewhere sees the correlation key again
+	// at EOF next to the audit verdict.
+	if ri := requestFrom(r.Context()); ri.id != "" {
+		w.Header().Set(http.TrailerPrefix+HeaderRequestID, ri.id)
+	}
 }

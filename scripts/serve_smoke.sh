@@ -4,14 +4,19 @@
 # Exercises the acceptance flow with nothing but curl and a shell:
 #   1. start the server on an ephemeral port (scraped from the
 #      load-bearing "listening on http://ADDR" stderr line)
-#   2. /healthz answers ok and carries the version Server header
-#   3. submit a small selfloop⊗selfloop job, poll it to done
+#   2. /healthz answers ok and carries the version Server header;
+#      /readyz answers ready; every response carries a request id and a
+#      traceparent
+#   3. submit a small selfloop⊗selfloop job (with a client traceparent,
+#      which must propagate), poll it to done
 #   4. stream the edge list as TSV and verify the line count against
 #      the closed-form /v1/truth edge count for the same spec
 #   5. saturate the 1-worker/1-slot queue with big jobs and verify the
 #      next submission bounces with 429 + Retry-After
-#   6. /metrics exposes the serve counters (incl. a real cache hit)
-#   7. SIGINT drains and the process exits 0; -metrics-out is written
+#   6. /metrics exposes the serve counters (incl. a real cache hit) and
+#      the windowed SLO gauges: healthy, populated, p99 within target
+#   7. SIGINT drains and the process exits 0; -metrics-out is written;
+#      the access log and timeline journal carry the request/trace ids
 #
 # Usage: scripts/serve_smoke.sh   (from anywhere inside the repo)
 set -euo pipefail
@@ -46,7 +51,8 @@ go build -o "$tmp/kronbip" ./cmd/kronbip
 # 1. Start on an ephemeral port; 1 worker + 1 queue slot makes the
 # saturation check deterministic.
 "$tmp/kronbip" serve -addr 127.0.0.1:0 -workers 1 -queue 1 \
-  -metrics-out "$tmp/metrics.json" 2>"$tmp/serve.log" &
+  -metrics-out "$tmp/metrics.json" -access-log "$tmp/access.log" \
+  -journal-out "$tmp/journal.log" 2>"$tmp/serve.log" &
 srv_pid=$!
 
 addr=
@@ -60,19 +66,34 @@ done
 base="http://$addr"
 echo "serve-smoke: server up at $base"
 
-# 2. Health + version header.
+# 2. Health + version header; readiness; request identity on every
+# response.
 curl -fsS -D "$tmp/hz.hdr" "$base/healthz" >"$tmp/hz.json"
 grep -q '"status": "ok"' "$tmp/hz.json" || fail "/healthz not ok: $(cat "$tmp/hz.json")"
 grep -qi '^Server: kronbip/' "$tmp/hz.hdr" || fail "missing kronbip Server header"
+grep -qi '^X-Kronbip-Request-Id:' "$tmp/hz.hdr" || fail "response missing X-Kronbip-Request-Id"
+grep -qi '^Traceparent: 00-' "$tmp/hz.hdr" || fail "response missing traceparent"
+curl -fsS "$base/readyz" >"$tmp/rz.json"
+grep -q '"status": "ready"' "$tmp/rz.json" || fail "/readyz not ready: $(cat "$tmp/rz.json")"
+echo "serve-smoke: healthz ok, readyz ready, identity headers present"
 
-# 3. Submit a small selfloop⊗selfloop job and poll it to done.
+# 3. Submit a small selfloop⊗selfloop job with a client trace context
+# and poll it to done; the trace id must propagate to the response and
+# into the job record.
 spec_factor=crown6 spec_seed=7
+trace_id=4bf92f3577b34da6a3ce929d0e0e4736
 curl -fsS -X POST -H 'Content-Type: application/json' \
+  -H "traceparent: 00-$trace_id-00f067aa0ba902b7-01" \
+  -H 'X-Kronbip-Request-Id: smoke-req-1' \
+  -D "$tmp/job.hdr" \
   -d "{\"factor\":\"$spec_factor\",\"mode\":\"selfloop\",\"seed\":$spec_seed,\"audit\":true}" \
   "$base/v1/jobs" >"$tmp/job.json"
 job_id=$(jfield id <"$tmp/job.json")
 [ -n "$job_id" ] || fail "submit returned no job id: $(cat "$tmp/job.json")"
-echo "serve-smoke: submitted $job_id"
+grep -qi '^X-Kronbip-Request-Id: smoke-req-1' "$tmp/job.hdr" || fail "submit response did not echo the request id"
+grep -qi "^Traceparent: 00-$trace_id-" "$tmp/job.hdr" || fail "submit response did not propagate the trace id"
+grep -q "\"trace_id\": \"$trace_id\"" "$tmp/job.json" || fail "job record lacks the submitted trace id"
+echo "serve-smoke: submitted $job_id (trace $trace_id propagated)"
 
 state=
 for _ in $(seq 1 100); do
@@ -120,6 +141,23 @@ done
 hits=$(awk '$1 == "serve_cache_hits" {print $2}' "$tmp/metrics.prom")
 [ "${hits:-0}" -ge 1 ] || fail "no cache hit recorded after repeated /v1/truth (hits=$hits)"
 
+# 6b. The windowed SLO gauges are populated (the scrape itself ticks the
+# evaluator) and within objective: healthy, traffic in the window, and
+# measured p99 at or under the target.
+for m in serve_slo_healthy serve_slo_p99_us serve_slo_window_requests serve_slo_p99_target_us; do
+  grep -q "^$m " "$tmp/metrics.prom" || fail "/metrics missing SLO gauge $m"
+done
+slo_healthy=$(awk '$1 == "serve_slo_healthy" {print $2}' "$tmp/metrics.prom")
+[ "$slo_healthy" = 1 ] || fail "serve_slo_healthy=$slo_healthy, want 1 (SLO burning in smoke?)"
+slo_reqs=$(awk '$1 == "serve_slo_window_requests" {print $2}' "$tmp/metrics.prom")
+[ "${slo_reqs:-0}" -ge 1 ] || fail "SLO window saw no requests (serve_slo_window_requests=$slo_reqs)"
+awk '$1 == "serve_slo_p99_us" {p99=$2} $1 == "serve_slo_p99_target_us" {t=$2}
+     END {if (p99+0 > t+0) exit 1}' "$tmp/metrics.prom" \
+  || fail "windowed p99 exceeds the SLO target: $(grep '^serve_slo_p99' "$tmp/metrics.prom")"
+# Per-route RED series are live for the routes this script exercised.
+grep -q 'serve_http_requests{route="truth"}' "$tmp/metrics.prom" || fail "/metrics missing per-route RED series"
+echo "serve-smoke: SLO gauges populated and within objective (p99 ok, window_requests=$slo_reqs)"
+
 # 7. SIGINT drains and exits 0; the -metrics-out snapshot lands.
 kill -INT "$srv_pid"
 rc=0
@@ -128,5 +166,15 @@ srv_pid=
 [ "$rc" = 0 ] || fail "server exited $rc after SIGINT"
 [ -s "$tmp/metrics.json" ] || fail "-metrics-out snapshot missing or empty"
 grep -q 'serve.http.requests' "$tmp/metrics.json" || fail "-metrics-out lacks serve metrics"
+
+# 7b. The access log carries the correlation identity for every request,
+# and the timeline journal's job lane carries the submitted trace id.
+[ -s "$tmp/access.log" ] || fail "access log missing or empty"
+grep -q 'req_id=smoke-req-1' "$tmp/access.log" || fail "access log lacks the client request id"
+grep -q "trace_id=$trace_id" "$tmp/access.log" || fail "access log lacks the client trace id"
+grep -q 'route=jobs.submit' "$tmp/access.log" || fail "access log lacks route labels"
+[ -s "$tmp/journal.log" ] || fail "timeline journal missing or empty"
+grep -q "cat=job .*trace_id=$trace_id" "$tmp/journal.log" || fail "journal job lane lacks the trace id"
+echo "serve-smoke: access log and journal carry request/trace ids"
 
 echo "serve-smoke: PASS"
