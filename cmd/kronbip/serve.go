@@ -35,7 +35,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	auditSample := fs.Int("audit-sample", 0, "auditor edge-membership sampling stride (0 = default 1024)")
 	sloWindow := fs.Duration("slo-window", time.Minute, "rolling window the SLO evaluator judges over")
 	sloP99 := fs.Duration("slo-p99", time.Second, "p99 latency objective for non-streaming routes; /readyz answers 503 while burned (negative = disabled)")
-	sloErrRate := fs.Float64("slo-error-rate", 0.05, "5xx error-rate objective as a fraction (negative = disabled)")
+	sloErrRate := fs.Float64("slo-error-rate", 0.05, "5xx error-rate objective as a fraction (0 = zero tolerance, negative = disabled)")
 	accessLog := fs.String("access-log", "", "write one logfmt line per request (req_id, trace_id, route, status) to this file ('-' = stderr)")
 	obsFlags := obs.RegisterFlags(fs)
 	tlFlags := timeline.RegisterFlags(fs)
@@ -87,7 +87,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		AuditSample:    *auditSample,
 		SLOWindow:      *sloWindow,
 		SLOP99:         *sloP99,
-		SLOErrorRate:   *sloErrRate,
+		SLOErrorRate:   sloErrRate,
 		AccessLog:      accessW,
 	})
 	if err := srv.Listen(*addr); err != nil {

@@ -46,10 +46,12 @@ func (w *statusWriter) Flush() {
 
 // withMiddleware wraps the route mux with the service-wide concerns:
 // request identity (request id + W3C trace context, accepted or minted,
-// echoed on every response), request metrics — the unlabeled totals plus
-// the per-route RED series and the SLO latency histogram, both gated on
-// one obs.Enabled load per request (DESIGN.md §6a) — the logfmt access
-// log, the version Server header, and panic recovery (a handler panic
+// echoed on every response), request metrics — the unlabeled totals, the
+// SLO traffic counters (non-probe routes only, so readiness/metrics
+// polls never feed the evaluator that decides /readyz), plus the
+// per-route RED series and the SLO latency histogram, the latter two
+// gated on one obs.Enabled load per request (DESIGN.md §6a) — the
+// logfmt access log, the version Server header, and panic recovery (a handler panic
 // answers 500 and keeps the server up instead of killing the
 // connection's goroutine with the process state unknown; the 500 reaches
 // the RED error counter even when the handler had already written a
@@ -86,11 +88,23 @@ func (s *Server) withMiddleware(h http.Handler) http.Handler {
 			elapsed := time.Since(start).Seconds()
 			hRequestSecs.Observe(elapsed)
 			route := routeLabel(r)
+			probe := isProbeRoute(route)
+			// SLO inputs see only real traffic: probe routes are excluded
+			// so /readyz answering 503 during a burn (or /healthz and
+			// /metrics polls) cannot feed the very error rate and latency
+			// window the evaluator judges — otherwise a burn latches once
+			// the load balancer pulls real traffic and only probes remain.
+			if !probe {
+				mSLORequests.Inc()
+				if status >= 500 {
+					mSLOErrors.Inc()
+				}
+			}
 			if enabled {
 				s.red.Route(route).Observe(status, elapsed, sw.bytes)
 				// Edge streams are excluded from the latency SLO: a
 				// legitimate multi-minute stream is not a burn.
-				if route != "jobs.edges" {
+				if !probe && route != "jobs.edges" {
 					s.sloHist.Observe(elapsed)
 				}
 			}

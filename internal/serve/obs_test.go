@@ -57,6 +57,15 @@ func TestRouteLabelTable(t *testing.T) {
 		{"DELETE", "/v1/jobs/j17", "jobs.cancel"},
 		{"GET", "/v1/jobs/j17/edges", "jobs.edges"},
 		{"GET", "/v1/jobs/j17/obs", "jobs.obs"},
+		// A job id literally named "edges"/"obs" is a jobs.get (the mux
+		// answers it from the {id} handler), and deeper paths are 404s —
+		// neither may borrow the jobs.edges/jobs.obs series.
+		{"GET", "/v1/jobs/edges", "jobs.get"},
+		{"GET", "/v1/jobs/obs", "jobs.get"},
+		{"DELETE", "/v1/jobs/edges", "jobs.cancel"},
+		{"GET", "/v1/jobs/j17/edges/extra", "other"},
+		{"GET", "/v1/jobs/j17/unknown", "other"},
+		{"GET", "/v1/jobs//edges", "other"},
 		{"GET", "/favicon.ico", "other"},
 		{"GET", "/v1/unknown", "other"},
 	}
@@ -98,6 +107,37 @@ func TestParseTraceparent(t *testing.T) {
 	for _, v := range invalid {
 		if _, ok := parseTraceparent(v); ok {
 			t.Errorf("parseTraceparent(%q) accepted, want rejected", v)
+		}
+	}
+}
+
+// TestSafeRequestID: the client-supplied id charset is an allowlist —
+// anything that could carry a terminal escape, split a logfmt line, or
+// produce a non-JSON %q escape in the trace export is replaced.
+func TestSafeRequestID(t *testing.T) {
+	good := []string{"a", "req-0123abcd-42", "A.b:C_d-9", strings.Repeat("x", 128)}
+	for _, id := range good {
+		if !isSafeRequestID(id) {
+			t.Errorf("isSafeRequestID(%q) = false, want accepted", id)
+		}
+	}
+	bad := []string{
+		"",
+		strings.Repeat("x", 129),
+		"has space",
+		"tab\there",
+		"newline\n",
+		`quo"te`,
+		"esc\x1b[31mred",  // terminal escape
+		"nul\x00byte",     // control byte
+		"caf\xc3\xa9",     // valid UTF-8, bytes outside the allowlist
+		"invalid\xffutf8", // invalid UTF-8
+		"slash/path",
+		"eq=uals",
+	}
+	for _, id := range bad {
+		if isSafeRequestID(id) {
+			t.Errorf("isSafeRequestID(%q) = true, want rejected", id)
 		}
 	}
 }
@@ -151,8 +191,16 @@ func TestRequestIdentityEcho(t *testing.T) {
 		t.Fatal(err)
 	}
 	res.Body.Close()
-	if got := res.Header.Get(HeaderRequestID); strings.Contains(got, "evil") {
+	if got := res.Header.Get(HeaderRequestID); !strings.HasPrefix(got, "req-") {
 		t.Errorf("request id = %q, want the garbage id replaced", got)
+	}
+
+	// A control byte the Go client would refuse to send can still arrive
+	// from a raw socket; resolveIdentity must mint a replacement.
+	raw := httptest.NewRequest("GET", "/healthz", nil)
+	raw.Header.Set(HeaderRequestID, "esc\x1b[2Jwipe")
+	if ri := resolveIdentity(raw); !strings.HasPrefix(ri.id, "req-") {
+		t.Errorf("request id for escape-byte header = %q, want minted", ri.id)
 	}
 }
 
@@ -361,6 +409,83 @@ func TestReadyzFlipsOnSLOBurn(t *testing.T) {
 	}
 }
 
+// TestProbeRoutesExcludedFromSLO: probe traffic (readyz/healthz/metrics
+// polls) never advances the SLO's request/error counters or latency
+// histogram — otherwise /readyz answering 503 during a burn would feed
+// the windowed error rate it is judged by, and readiness would latch
+// down after a load balancer pulls real traffic (the reviewer's
+// feedback-loop scenario).
+func TestProbeRoutesExcludedFromSLO(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	s := New(Config{Workers: 1})
+	defer s.Shutdown(time.Second)
+	// Every route answers 503 — the shape probe polls take while the
+	// server is draining or burning.
+	ts := httptest.NewServer(s.withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusServiceUnavailable, "burning")
+	})))
+	defer ts.Close()
+
+	reqBefore, errBefore := mSLORequests.Value(), mSLOErrors.Value()
+	for _, p := range []string{"/readyz", "/healthz", "/metrics", "/metrics.json"} {
+		res, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s = %d, want 503", p, res.StatusCode)
+		}
+	}
+	if got := mSLORequests.Value(); got != reqBefore {
+		t.Errorf("probe polls advanced serve.slo.requests by %d, want 0", got-reqBefore)
+	}
+	if got := mSLOErrors.Value(); got != errBefore {
+		t.Errorf("probe 503s advanced serve.slo.errors by %d, want 0", got-errBefore)
+	}
+
+	// Real traffic still reaches the SLO inputs: one 503 on a non-probe
+	// route advances both counters.
+	res, err := http.Get(ts.URL + "/v1/truth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if got := mSLORequests.Value(); got != reqBefore+1 {
+		t.Errorf("serve.slo.requests advanced by %d for real traffic, want 1", got-reqBefore)
+	}
+	if got := mSLOErrors.Value(); got != errBefore+1 {
+		t.Errorf("serve.slo.errors advanced by %d for a real 503, want 1", got-errBefore)
+	}
+}
+
+// TestZeroToleranceErrorObjective: a library caller can express the
+// zero-tolerance error objective (SLOOptions' 0) through serve.Config —
+// a single windowed 5xx on real traffic burns the SLO.
+func TestZeroToleranceErrorObjective(t *testing.T) {
+	zero := 0.0
+	s := New(Config{Workers: 1, SLOErrorRate: &zero})
+	defer s.Shutdown(time.Second)
+	ts := httptest.NewServer(s.withMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusInternalServerError, "boom")
+	})))
+	defer ts.Close()
+
+	res, err := http.Get(ts.URL + "/v1/truth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	st := s.slo.Tick(time.Now())
+	if st.Errors == 0 {
+		t.Fatalf("window saw no errors: %+v", st)
+	}
+	if st.Healthy || !strings.Contains(st.Reason, "error rate") {
+		t.Errorf("zero-tolerance objective did not burn on a 5xx: %+v", st)
+	}
+}
+
 // TestJobObsEndpoint: the per-job observability view carries the
 // submitting request's identity, the throughput figure, and — with
 // timeline recording on — the job-lane events annotated with that
@@ -488,8 +613,8 @@ func TestMetricNameTableGolden(t *testing.T) {
 // benchmarks: no recorder allocations, no body retention.
 type nopResponseWriter struct{ h http.Header }
 
-func (w nopResponseWriter) Header() http.Header        { return w.h }
-func (w nopResponseWriter) WriteHeader(int)            {}
+func (w nopResponseWriter) Header() http.Header         { return w.h }
+func (w nopResponseWriter) WriteHeader(int)             {}
 func (w nopResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
 
 // BenchmarkServeMiddleware measures the middleware's per-request cost

@@ -129,13 +129,35 @@ func parseTraceparent(v string) (traceID string, ok bool) {
 	return tid, true
 }
 
+// isSafeRequestID reports whether a client-supplied request id is
+// accepted: 1..128 bytes, every byte in [A-Za-z0-9._:-].  The id lands
+// verbatim in logfmt access-log lines, response headers, and the
+// timeline journal/Chrome-trace export, so this is an allowlist, not a
+// denylist — control bytes (terminal escapes, log injection) and
+// invalid UTF-8 (which Go's %q renders as \x.. escapes that are not
+// legal JSON string escapes) must never get through.
+func isSafeRequestID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		switch c := id[i]; {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == ':', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 // resolveIdentity builds the request's correlation identity: honor a
-// client-supplied request id (bounded, single-line) and traceparent,
-// generate what is missing, and always mint a fresh span id for this
-// hop.
+// client-supplied request id (allowlisted charset, bounded) and
+// traceparent, generate what is missing, and always mint a fresh span
+// id for this hop.
 func resolveIdentity(r *http.Request) requestInfo {
 	ri := requestInfo{spanID: newSpanID()}
-	if id := r.Header.Get(HeaderRequestID); id != "" && len(id) <= 128 && !strings.ContainsAny(id, " \t\r\n\"") {
+	if id := r.Header.Get(HeaderRequestID); isSafeRequestID(id) {
 		ri.id = id
 	} else {
 		ri.id = newRequestID()
@@ -173,19 +195,44 @@ func routeLabel(r *http.Request) string {
 		}
 		return "jobs.list"
 	case strings.HasPrefix(p, "/v1/jobs/"):
+		// Match the full /v1/jobs/{id}[/edges|/obs] shape by segment
+		// count, not by suffix: a job id literally named "edges" is a
+		// jobs.get, and /v1/jobs/{id}/edges/extra (a 404) must not be
+		// attributed to the jobs.edges series — suffix matching would
+		// let such requests escape the SLO latency exclusion or borrow
+		// a route they never reached.
+		seg := strings.Split(p[len("/v1/jobs/"):], "/")
 		switch {
-		case strings.HasSuffix(p, "/edges"):
-			return "jobs.edges"
-		case strings.HasSuffix(p, "/obs"):
-			return "jobs.obs"
-		case r.Method == http.MethodDelete:
-			return "jobs.cancel"
-		default:
+		case len(seg) == 1 && seg[0] != "":
+			if r.Method == http.MethodDelete {
+				return "jobs.cancel"
+			}
 			return "jobs.get"
+		case len(seg) == 2 && seg[0] != "" && seg[1] == "edges":
+			return "jobs.edges"
+		case len(seg) == 2 && seg[0] != "" && seg[1] == "obs":
+			return "jobs.obs"
+		default:
+			return "other"
 		}
 	default:
 		return "other"
 	}
+}
+
+// isProbeRoute reports whether a route label is operational probe
+// traffic — readiness/liveness polls and metrics scrapes.  Probe routes
+// are excluded from the SLO's request/error/latency inputs: /readyz
+// answers 503 during a burn, and feeding those 503s back into the
+// windowed error rate would latch readiness down forever once a load
+// balancer pulls real traffic (the window would hold nothing but
+// failing probes).
+func isProbeRoute(route string) bool {
+	switch route {
+	case "healthz", "readyz", "metrics", "metrics.json":
+		return true
+	}
+	return false
 }
 
 // routeLabels is the full route-label set, pre-resolved at server

@@ -50,10 +50,18 @@ import (
 // per-request/per-job (never per edge), so unlike the generation hot
 // paths it does not gate on obs.Enabled — see DESIGN.md §6a.
 var (
-	mRequests     = obs.Default.Counter("serve.http.requests")
-	mErrors       = obs.Default.Counter("serve.http.errors") // 5xx responses
-	mPanics       = obs.Default.Counter("serve.http.panics")
-	hRequestSecs  = obs.Default.Histogram("serve.http.seconds")
+	mRequests    = obs.Default.Counter("serve.http.requests")
+	mErrors      = obs.Default.Counter("serve.http.errors") // 5xx responses
+	mPanics      = obs.Default.Counter("serve.http.panics")
+	hRequestSecs = obs.Default.Histogram("serve.http.seconds")
+	// SLO traffic inputs: real (non-probe) requests and their 5xx
+	// responses.  The evaluator must never judge its own probe traffic —
+	// if /readyz 503s fed serve.slo.errors, a burn would latch: the load
+	// balancer pulls real traffic, the window fills with failing readiness
+	// polls, and the error rate pins at 100% after the fault clears.  The
+	// middleware advances these only for routes outside isProbeRoute.
+	mSLORequests  = obs.Default.Counter("serve.slo.requests")
+	mSLOErrors    = obs.Default.Counter("serve.slo.errors")
 	mCacheHits    = obs.Default.Counter("serve.cache.hits")
 	mCacheMisses  = obs.Default.Counter("serve.cache.misses")
 	gCacheSize    = obs.Default.Gauge("serve.cache.size")
@@ -112,12 +120,15 @@ type Config struct {
 	// (default 60s).
 	SLOWindow time.Duration
 	// SLOP99 is the latency objective for the non-streaming routes:
-	// windowed p99 above it flips /readyz to 503 (default 1s; negative
-	// disables the latency objective).
+	// windowed p99 above it flips /readyz to 503 (0 keeps the default
+	// 1s; negative disables the latency objective — a zero-latency
+	// objective is not expressible, matching obs.SLOOptions).
 	SLOP99 time.Duration
-	// SLOErrorRate is the 5xx error-rate objective as a fraction
-	// (default 0.05; negative disables the error objective).
-	SLOErrorRate float64
+	// SLOErrorRate is the 5xx error-rate objective as a fraction.  Nil
+	// selects the default 0.05; pointing at 0 means zero tolerance
+	// (any windowed 5xx burns); pointing at a negative value disables
+	// the error objective — the same vocabulary as obs.SLOOptions.
+	SLOErrorRate *float64
 	// AccessLog, when non-nil, receives one logfmt line per request
 	// carrying method, route, status, bytes, duration and the request/
 	// trace ids.  Nil disables access logging entirely.
@@ -158,8 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOP99 == 0 {
 		c.SLOP99 = time.Second
 	}
-	if c.SLOErrorRate == 0 {
-		c.SLOErrorRate = 0.05
+	if c.SLOErrorRate == nil {
+		rate := 0.05
+		c.SLOErrorRate = &rate
 	}
 	return c
 }
@@ -200,10 +212,14 @@ func New(cfg Config) *Server {
 		red:     obs.NewRED(obs.Default, "serve.http"),
 		sloHist: obs.Default.Histogram("serve.slo.seconds"),
 	}
-	s.slo = obs.NewSLO(obs.Default, "serve.slo", s.sloHist, mRequests, mErrors, obs.SLOOptions{
+	// The evaluator reads the dedicated serve.slo.* traffic counters, not
+	// serve.http.*: probe routes (readyz/healthz/metrics) never reach the
+	// SLO inputs, so readiness polls during a burn cannot keep the burn
+	// alive after real traffic recovers.
+	s.slo = obs.NewSLO(obs.Default, "serve.slo", s.sloHist, mSLORequests, mSLOErrors, obs.SLOOptions{
 		Window:       cfg.SLOWindow,
 		P99Max:       cfg.SLOP99,
-		ErrorRateMax: cfg.SLOErrorRate,
+		ErrorRateMax: *cfg.SLOErrorRate,
 	})
 	// Pre-resolve the full route-label table so the RED map never grows
 	// on the request path and the exported name set is deterministic
