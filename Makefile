@@ -5,6 +5,7 @@
 #   make bench      - streaming + engine benchmarks
 #   make bench-json - same benchmarks as a dated BENCH_<date>.json record
 #   make bench-check- compare the last two BENCH_<date>.json records
+#   make bench-trend- bench-check plus per-family delta roll-up
 #   make serve-smoke- end-to-end smoke test of the kronbip serve service
 #   make check      - everything (what CI should run)
 
@@ -19,7 +20,7 @@ BENCH_DATE := $(shell date +%Y-%m-%dT%H%M%S)
 # instrumented paths hammer concurrently, and the serve job manager.
 RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit ./internal/serve
 
-.PHONY: all vet build test race bench bench-json bench-check serve-smoke check
+.PHONY: all vet build test race bench bench-json bench-check bench-trend serve-smoke check
 
 all: vet build test
 
@@ -38,26 +39,34 @@ race:
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkStream_' -benchtime 10x .
 	$(GO) test -bench . -benchtime 100x ./internal/exec
-	$(GO) test -run XXX -bench 'BenchmarkServeMiddleware' ./internal/serve
+	$(GO) test -run XXX -bench 'BenchmarkServe' ./internal/serve
+	$(GO) test -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs
 
 # bench-json records the same runs in `go test -json` form, one dated
 # file per day, for diffing throughput across PRs.
 bench-json:
 	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
 	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; \
-	  $(GO) test -json -run XXX -bench 'BenchmarkServeMiddleware' ./internal/serve ; } > BENCH_$(BENCH_DATE).json
+	  $(GO) test -json -run XXX -bench 'BenchmarkServe' ./internal/serve ; \
+	  $(GO) test -json -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
 
 # bench-check compares the two most recent records: 2x threshold for
 # engine microbenchmarks (catches lost parallelism or accidental
 # quadratic blowups, not machine-to-machine noise), a tight 1.2x for
 # the BenchmarkStream_* family — a >20% slide in the edge-streaming hot
-# paths fails the build — and 1.5x for BenchmarkServe* (the HTTP
-# middleware per-request cost).  Results under the 500ns noise floor
-# never fail: nanosecond ops at -benchtime 100x measure scheduler
-# jitter, not the code.  Passes trivially with fewer than two records.
+# paths fails the build — and 1.5x for BenchmarkServe* (HTTP middleware
+# per-request cost and per-job attribution overhead).  Results under the
+# 500ns noise floor never fail: nanosecond ops at -benchtime 100x
+# measure scheduler jitter, not the code.  Passes trivially with fewer
+# than two records.  bench-trend wraps the same comparison with a
+# per-family delta roll-up (scripts/bench_trend.sh); CI runs the trend
+# non-blocking since its records span machines.
 bench-check:
 	$(GO) run ./cmd/benchcheck -dir .
+
+bench-trend:
+	scripts/bench_trend.sh
 
 # serve-smoke runs the full service acceptance flow against a live
 # server: submit → poll → stream, streamed count vs /v1/truth closed

@@ -80,11 +80,20 @@ func main() {
 		usage()
 		os.Exit(cli.ExitUsage)
 	}
+	// A panic unwinding out of any subcommand dumps the flight recorder
+	// before re-raising — the crash output then carries the event trail
+	// that led up to it, not just the stack.
+	defer cli.FlightDumpOnPanic()
 	// Every subcommand runs under a signal-aware context: Ctrl-C or SIGTERM
 	// cancels mid-generation and the engine unwinds with a partial-work
 	// error instead of being killed with buffers in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// SIGQUIT is repurposed from kill-with-stack-dump to a live
+	// flight-recorder dump: the process reports what it was doing and
+	// keeps running (long generations and serve stay up).
+	stopQuit := cli.StartFlightDumpOnQuit()
+	defer stopQuit()
 
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	sloP99 := fs.Duration("slo-p99", time.Second, "p99 latency objective for non-streaming routes; /readyz answers 503 while burned (negative = disabled)")
 	sloErrRate := fs.Float64("slo-error-rate", 0.05, "5xx error-rate objective as a fraction (0 = zero tolerance, negative = disabled)")
 	accessLog := fs.String("access-log", "", "write one logfmt line per request (req_id, trace_id, route, status) to this file ('-' = stderr)")
+	flightDump := fs.String("flight-dump", "", "also write flight-recorder dumps (SIGQUIT, panic, final drain) to this file")
 	obsFlags := obs.RegisterFlags(fs)
 	tlFlags := timeline.RegisterFlags(fs)
 	verb := cli.RegisterVerbosity(fs)
@@ -46,6 +48,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	// whole process lifetime regardless of the obs flags, so /metrics
 	// and /metrics.json always have live data.
 	obs.SetEnabled(true)
+	cli.SetFlightDumpPath(*flightDump)
 	stopObs, err := obsFlags.Start()
 	if err != nil {
 		return err
@@ -56,8 +59,14 @@ func cmdServe(ctx context.Context, args []string) error {
 		return err
 	}
 
+	// File-backed access logs are buffered: one small write per request
+	// instead of one syscall per line.  The buffer is flushed after the
+	// drain completes (no requests are in flight by then, so the flush
+	// races nothing) and the file closed — a SIGINT shutdown loses no
+	// lines.  Stderr stays unbuffered so interactive tails are live.
 	var accessW io.Writer
 	var accessF *os.File
+	var accessBuf *bufio.Writer
 	switch *accessLog {
 	case "":
 	case "-":
@@ -70,7 +79,8 @@ func cmdServe(ctx context.Context, args []string) error {
 			return fmt.Errorf("serve: -access-log: %w", err)
 		}
 		accessF = f
-		accessW = f
+		accessBuf = bufio.NewWriter(f)
+		accessW = accessBuf
 	}
 
 	srv := serve.New(serve.Config{
@@ -110,10 +120,21 @@ func cmdServe(ctx context.Context, args []string) error {
 	if err := stopObs(); err != nil && srvErr == nil {
 		srvErr = err
 	}
+	if accessBuf != nil {
+		if err := accessBuf.Flush(); err != nil && srvErr == nil {
+			srvErr = err
+		}
+	}
 	if accessF != nil {
 		if err := accessF.Close(); err != nil && srvErr == nil {
 			srvErr = err
 		}
+	}
+	// Leave the final post-mortem record behind (-flight-dump): the
+	// drained process writes its flight dump once, after the access log
+	// is safely on disk.
+	if err := cli.FlushFlightDump(); err != nil && srvErr == nil {
+		srvErr = err
 	}
 	obs.SetEnabled(false)
 	return srvErr

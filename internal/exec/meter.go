@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Meter accumulates per-run resource attribution for one logical job: the
+// pool adds each shard task's busy wall-time and task count as it
+// completes.  Because a shard task runs CPU-bound on a single goroutine,
+// its busy wall-time is a faithful proxy for the CPU it consumed (one
+// core for the duration); summed over shards this attributes pool CPU to
+// the job that scheduled it without any per-goroutine runtime API —
+// which Go does not expose.  Concurrent shards sum their overlapping
+// intervals, so a 4-worker job burning 1s of wall clock reports ~4s of
+// busy time, exactly like process CPU time.
+//
+// The zero Meter is ready to use.  All methods are safe for concurrent
+// use; accumulation is two atomic adds per shard *task* (never per
+// element), and only happens at all when instrumentation is enabled —
+// an unmetered or obs-disabled run never touches it.
+type Meter struct {
+	busyNanos atomic.Int64
+	tasks     atomic.Int64
+}
+
+// add records one completed shard task that ran for d.
+func (m *Meter) add(d time.Duration) {
+	m.busyNanos.Add(int64(d))
+	m.tasks.Add(1)
+}
+
+// BusySeconds returns the accumulated busy time in seconds — the job's
+// attributed CPU time under the one-core-per-shard model.
+func (m *Meter) BusySeconds() float64 {
+	return float64(m.busyNanos.Load()) / float64(time.Second)
+}
+
+// Busy returns the accumulated busy time.
+func (m *Meter) Busy() time.Duration {
+	return time.Duration(m.busyNanos.Load())
+}
+
+// Tasks returns the number of shard tasks accumulated so far.
+func (m *Meter) Tasks() int64 {
+	return m.tasks.Load()
+}
+
+// meterKey carries the Meter through a context without exporting the key.
+type meterKey struct{}
+
+// WithMeter returns a context that routes pool attribution to m: every
+// ShardedN (and therefore Ranges) call made under the returned context
+// adds its shard-task busy time to m while instrumentation is enabled.
+func WithMeter(ctx context.Context, m *Meter) context.Context {
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// MeterFrom returns the Meter attached by WithMeter, or nil.
+func MeterFrom(ctx context.Context) *Meter {
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Export formats.  One registry snapshot serves two consumers:
@@ -127,6 +128,85 @@ func promName(base string) string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// promEscapeValue escapes a raw label value per the Prometheus text
+// exposition rules: backslash, double quote and newline get escaped,
+// everything else (tabs included) passes through raw.
+func promEscapeValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes HELP text: backslash and newline only (quotes
+// are legal in help lines).
+func promEscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promLabels normalizes a label body built by Labeled (Go %q quoting)
+// into Prometheus escaping: each `key="<go-quoted>"` pair is unquoted
+// and re-escaped with exactly the \\, \" and \n sequences the
+// exposition format defines — Go's %q additionally escapes tabs and
+// non-printables as \t/\xNN, which a Prometheus parser would read as a
+// literal backslash sequence.  A body that does not parse as quoted
+// pairs is passed through verbatim.
+func promLabels(labels string) string {
+	if !strings.Contains(labels, `\`) {
+		// Fast path: no escape sequences at all — %q only emits a
+		// backslash when something needed escaping.
+		return labels
+	}
+	var b strings.Builder
+	rest := labels
+	first := true
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return labels
+		}
+		q, err := strconv.QuotedPrefix(rest[eq+1:])
+		if err != nil {
+			return labels
+		}
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			return labels
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(rest[:eq])
+		b.WriteString(`="`)
+		b.WriteString(promEscapeValue(raw))
+		b.WriteByte('"')
+		rest = rest[eq+1+len(q):]
+		if rest != "" {
+			if rest[0] != ',' {
+				return labels
+			}
+			rest = rest[1:]
+		}
+	}
+	return b.String()
+}
+
 // promLine renders one exposition line: name, optional label body,
 // value.
 func promLine(name, labels, value string) string {
@@ -161,16 +241,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for name, v := range snap.Counters {
 		base, labels := splitLabels(name)
 		pn := promName(base)
-		add(pn, "counter", promLine(pn, labels, strconv.FormatInt(v, 10)))
+		add(pn, "counter", promLine(pn, promLabels(labels), strconv.FormatInt(v, 10)))
 	}
 	for name, v := range snap.Gauges {
 		base, labels := splitLabels(name)
 		pn := promName(base)
-		add(pn, "gauge", promLine(pn, labels, strconv.FormatInt(v, 10)))
+		add(pn, "gauge", promLine(pn, promLabels(labels), strconv.FormatInt(v, 10)))
 	}
 	for name, h := range snap.Histograms {
 		base, labels := splitLabels(name)
 		pn := promName(base)
+		labels = promLabels(labels)
 		var cum int64
 		for _, b := range h.Buckets {
 			cum += b.Count
@@ -184,11 +265,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		add(pn, "histogram", promLine(pn+"_count", labels, strconv.FormatInt(h.Count, 10)))
 	}
 	for path, sp := range snap.Spans {
-		label := fmt.Sprintf("span=%q", path)
+		label := promLabels(fmt.Sprintf("span=%q", path))
 		add("span_count", "counter", promLine("span_count", label, strconv.FormatInt(sp.Count, 10)))
 		add("span_seconds_total", "counter", promLine("span_seconds_total", label, formatFloat(sp.TotalSeconds)))
 		add("span_seconds_max", "gauge", promLine("span_seconds_max", label, formatFloat(sp.MaxSeconds)))
 	}
+
+	// HELP text, keyed by the rendered (prom) family name.  Sorted
+	// iteration makes a collision (two dotted bases sanitizing to one
+	// prom name) deterministic: the lexically-first base wins.
+	r.mu.RLock()
+	helpBases := make([]string, 0, len(r.help))
+	for base := range r.help {
+		helpBases = append(helpBases, base)
+	}
+	sort.Strings(helpBases)
+	helpFor := make(map[string]string, len(helpBases))
+	for _, base := range helpBases {
+		pn := promName(base)
+		if _, dup := helpFor[pn]; !dup {
+			helpFor[pn] = r.help[base]
+		}
+	}
+	r.mu.RUnlock()
 
 	names := make([]string, 0, len(families))
 	for name := range families {
@@ -199,6 +298,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		f := families[name]
 		if f.typ != "histogram" {
 			sort.Strings(f.lines) // histogram lines keep ascending-bucket order
+		}
+		if help := helpFor[name]; help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscapeHelp(help)); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ); err != nil {
 			return err
@@ -213,9 +317,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // MetricsHandler serves the Prometheus rendering (the /metrics
-// endpoint).
+// endpoint).  Scrapes of the Default registry tick the runtime
+// collector first (rate-limited), so the runtime.* gauges are at most
+// one MinInterval stale — the scraper is the sampling clock, matching
+// the SLO evaluator's pull-driven design.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.maybeSampleRuntime()
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
@@ -224,7 +332,17 @@ func (r *Registry) MetricsHandler() http.Handler {
 // JSONHandler serves the JSON snapshot (the /metrics.json endpoint).
 func (r *Registry) JSONHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		r.maybeSampleRuntime()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = r.WriteJSON(w)
 	})
+}
+
+// maybeSampleRuntime refreshes the Default registry's runtime.* gauges
+// on scrape; non-Default registries (tests) stay untouched so their
+// name sets remain exactly what the test created.
+func (r *Registry) maybeSampleRuntime() {
+	if r == Default {
+		DefaultRuntime().MaybeSample(time.Now())
+	}
 }

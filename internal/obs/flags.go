@@ -21,12 +21,13 @@ import (
 // with none set, Start is a no-op and the hot paths keep their
 // uninstrumented code paths.
 type Flags struct {
-	Progress   time.Duration
-	MetricsOut string
-	CPUProfile string
-	MemProfile string
-	Trace      string
-	DebugAddr  string
+	Progress      time.Duration
+	MetricsOut    string
+	CPUProfile    string
+	MemProfile    string
+	Trace         string
+	DebugAddr     string
+	RuntimeSample time.Duration
 }
 
 // RegisterFlags binds the observability flags onto fs and returns the
@@ -39,13 +40,15 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
 	fs.StringVar(&f.Trace, "trace", "", "write a Go runtime execution trace to this file (scheduler/GC detail for `go tool trace`; for an application-level shard/rank timeline see -timeline-out)")
 	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address while running")
+	fs.DurationVar(&f.RuntimeSample, "runtime-sample", 0, "sample Go runtime stats (heap, GC pauses, scheduler latency) into the runtime.* gauges at this interval (0 = only on scrape)")
 	return f
 }
 
 // Active reports whether any observability flag was set.
 func (f *Flags) Active() bool {
 	return f.Progress > 0 || f.MetricsOut != "" || f.CPUProfile != "" ||
-		f.MemProfile != "" || f.Trace != "" || f.DebugAddr != ""
+		f.MemProfile != "" || f.Trace != "" || f.DebugAddr != "" ||
+		f.RuntimeSample > 0
 }
 
 // Start enables instrumentation and starts every facility the flags ask
@@ -72,7 +75,9 @@ func (f *Flags) Start() (stop func() error, err error) {
 		}
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s (/metrics, /metrics.json, /debug/pprof)\n", srv.Addr())
 	}
+	stopRuntime := DefaultRuntime().Start(f.RuntimeSample)
 	return func() error {
+		stopRuntime()
 		firstErr := stopProf()
 		if srv != nil {
 			if err := srv.Close(); err != nil && firstErr == nil {
@@ -89,8 +94,11 @@ func (f *Flags) Start() (stop func() error, err error) {
 	}, nil
 }
 
-// writeSnapshotFile writes the Default registry's JSON snapshot.
+// writeSnapshotFile writes the Default registry's JSON snapshot, with
+// the runtime.* gauges refreshed so the final run record carries real
+// heap/GC numbers rather than whatever the last scrape left behind.
 func writeSnapshotFile(path string) error {
+	DefaultRuntime().Sample(time.Now())
 	out, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("obs: -metrics-out: %w", err)

@@ -131,6 +131,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	spans    map[string]*SpanStats
+	help     map[string]string // base name → HELP text (Prometheus export)
 }
 
 // NewRegistry returns an empty registry.
@@ -140,6 +141,7 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		spans:    map[string]*SpanStats{},
+		help:     map[string]string{},
 	}
 }
 
@@ -210,6 +212,17 @@ func (r *Registry) Reset() {
 	r.gauges = map[string]*Gauge{}
 	r.hists = map[string]*Histogram{}
 	r.spans = map[string]*SpanStats{}
+	r.help = map[string]string{}
+}
+
+// SetHelp attaches Prometheus HELP text to a metric family, keyed by the
+// unlabeled base name ("runtime.heap_bytes").  The exporter emits it
+// once per merged family, ahead of the TYPE line; families without help
+// render TYPE only, as before.
+func (r *Registry) SetHelp(base, text string) {
+	r.mu.Lock()
+	r.help[base] = text
+	r.mu.Unlock()
 }
 
 // Labeled composes a metric name with one label, Prometheus-style:

@@ -99,9 +99,10 @@ type DebugServer struct {
 // ServeDebug serves live observability endpoints on addr (":0" picks a
 // free port; see Addr):
 //
-//	/metrics        Prometheus text format
-//	/metrics.json   JSON snapshot (the -metrics-out document)
-//	/debug/pprof/   net/http/pprof index (profile, heap, trace, ...)
+//	/metrics               Prometheus text format
+//	/metrics.json          JSON snapshot (the -metrics-out document)
+//	/debug/flightrecorder  flight-recorder dump (logfmt events + metrics)
+//	/debug/pprof/          net/http/pprof index (profile, heap, trace, ...)
 //
 // The server runs until Close; serving errors after Close are ignored.
 func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
@@ -112,6 +113,7 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.MetricsHandler())
 	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.Handle("/debug/flightrecorder", FlightHandler(r))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"sync"
 	"time"
 )
@@ -82,9 +81,11 @@ func (p *Progress) Start() (stop func()) {
 			if p.ShardsDone != nil && p.TotalShards > 0 {
 				line += fmt.Sprintf(" shards=%d/%d", p.ShardsDone()-baseShards, p.TotalShards)
 			}
-			var ms runtime.MemStats
-			runtime.ReadMemStats(&ms)
-			line += fmt.Sprintf(" heap_mb=%.1f\n", float64(ms.HeapAlloc)/(1<<20))
+			// Heap readout through the runtime collector: one rate-limited
+			// runtime/metrics read instead of a stop-the-world-ish
+			// ReadMemStats per tick, and the same sample feeds the
+			// exported runtime.* gauges.
+			line += fmt.Sprintf(" heap_mb=%.1f\n", float64(DefaultRuntime().HeapBytes(now))/(1<<20))
 			io.WriteString(out, line)
 		}
 		for {

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// escapingRegistry builds the registry the escaping golden renders:
+// label values exercising every character the exposition format escapes
+// (backslash, double quote, newline) plus Go-%q-only escapes (tab) that
+// must be normalized back to raw bytes, HELP text with its own escape
+// set, and a family merging an unlabeled base with labeled series.
+func escapingRegistry() *Registry {
+	r := NewRegistry()
+	// One merged family: base + three labeled series whose values need
+	// escaping.  TYPE (and HELP) must appear exactly once for all four.
+	r.Counter("esc.requests").Add(10)
+	r.Counter(`esc.requests{path="C:\\jobs\\queue"}`).Add(1)
+	r.Counter(Labeled("esc.requests", "path", `say "hi"`)).Add(2)
+	r.Counter(Labeled("esc.requests", "path", "two\nlines")).Add(3)
+	// Tab: Go %q renders it \t, which is NOT a Prometheus escape — the
+	// exporter must emit the raw tab byte instead.
+	r.Counter(Labeled("esc.requests", "path", "a\tb")).Add(4)
+	r.SetHelp("esc.requests", "Requests by path; values may contain \\ and\nnewlines.")
+
+	// Labeled histogram: the label body must survive into every _bucket/
+	// _sum/_count line alongside the le label.
+	r.Histogram(Labeled("esc.seconds", "route", `ob\s`), 0.1).Observe(0.05)
+	r.SetHelp("esc.seconds", "Latency with an escaped route label.")
+
+	// Span paths flow through the same escaping via span=%q.
+	r.ObserveSpan(`gen/"quoted"`, 1e9)
+	return r
+}
+
+func TestPrometheusEscapingGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := escapingRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "escaping.golden.prom")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("escaped output drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	out := buf.String()
+	// The exposition contract, asserted directly so a golden regen cannot
+	// silently bless a regression: HELP and TYPE exactly once per merged
+	// family, and every escape rendered per the format spec.
+	for _, directive := range []string{
+		"# TYPE esc_requests counter",
+		"# HELP esc_requests ",
+		"# TYPE esc_seconds histogram",
+	} {
+		if got := strings.Count(out, directive); got != 1 {
+			t.Errorf("%q appears %d times, want exactly 1", directive, got)
+		}
+	}
+	for _, line := range []string{
+		`esc_requests{path="C:\\jobs\\queue"} 1`,
+		`esc_requests{path="say \"hi\""} 2`,
+		`esc_requests{path="two\nlines"} 3`,
+		"esc_requests{path=\"a\tb\"} 4", // raw tab, not \t
+		`# HELP esc_requests Requests by path; values may contain \\ and\nnewlines.`,
+		`esc_seconds_bucket{route="ob\\s",le="0.1"} 1`,
+		`esc_seconds_count{route="ob\\s"} 1`,
+		`span_count{span="gen/\"quoted\""} 1`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("output missing line %q\n--- output ---\n%s", line, out)
+		}
+	}
+	// No lingering Go-%q artifacts: \t and \x escapes are not legal in
+	// the exposition format.
+	if strings.Contains(out, `\t`) || strings.Contains(out, `\x`) {
+		t.Errorf("output leaks Go-%%q escapes:\n%s", out)
+	}
+}
+
+func TestPromLabelsPassthrough(t *testing.T) {
+	// Bodies with no escapes take the fast path untouched; malformed
+	// bodies pass through verbatim rather than corrupting the line.
+	for _, labels := range []string{
+		``, `route="healthz"`, `a="1",b="2"`,
+		`malformed\`, `k="unterminated\`,
+	} {
+		want := labels
+		if got := promLabels(labels); got != want {
+			t.Errorf("promLabels(%q) = %q, want %q", labels, got, want)
+		}
+	}
+	// Go-%q tab normalizes to a raw tab.
+	in := `k="a\tb"`
+	if got := promLabels(in); got != "k=\"a\tb\"" {
+		t.Errorf("promLabels(%q) = %q", in, got)
+	}
+}

@@ -195,6 +195,17 @@ func (s *SLO) Tick(now time.Time) SLOStatus {
 		st.Reason = fmt.Sprintf("error rate %.4f exceeds objective %.4f", st.ErrorRate, s.opt.ErrorRateMax)
 	}
 
+	// Flight trail: every real tick at debug, health transitions at warn
+	// — a post-mortem dump shows when the burn started and what the
+	// evaluator saw (p99 µs, windowed requests/errors).
+	wasHealthy := !s.ticked || s.status.Healthy
+	if wasHealthy && !st.Healthy {
+		Flight.RecordNote(FlightWarn, "slo", "slo burn", st.P99.Microseconds(), st.Errors, st.Reason)
+	} else if !wasHealthy && st.Healthy {
+		Flight.Record(FlightWarn, "slo", "slo recovered", st.P99.Microseconds(), st.Requests)
+	}
+	Flight.Record(FlightDebug, "slo", "slo tick", st.P99.Microseconds(), st.Requests)
+
 	s.status = st
 	s.ticked = true
 	s.gP50.Set(st.P50.Microseconds())

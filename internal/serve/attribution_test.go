@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kronbip/internal/obs"
+	"kronbip/internal/spec"
+)
+
+// TestJobResourceAttribution walks the attribution pipeline end to end:
+// a finished job carries exact cpu/pool-task sums and approximate alloc
+// deltas in its status, the jobs-obs endpoint surfaces them flagged as
+// such, and the serve.job.* histograms plus the runtime.* gauges show up
+// on a /metrics scrape.
+func TestJobResourceAttribution(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	_, ts := testServer(t, Config{Shards: 2})
+	st, res := submitJob(t, ts.URL, `{"factor":"crown6","seed":1}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", res.StatusCode)
+	}
+	final := waitState(t, ts.URL, st.ID, "done")
+	if final.CPUSeconds <= 0 {
+		t.Errorf("cpu_seconds = %v, want > 0", final.CPUSeconds)
+	}
+	if final.PoolTasks <= 0 {
+		t.Errorf("pool_tasks = %d, want > 0", final.PoolTasks)
+	}
+	if final.AllocBytesApprox <= 0 || final.AllocsApprox <= 0 {
+		t.Errorf("alloc deltas = %d bytes / %d objects, want > 0",
+			final.AllocBytesApprox, final.AllocsApprox)
+	}
+
+	var jo struct {
+		Resources *struct {
+			CPUSeconds        float64 `json:"cpu_seconds"`
+			PoolTasks         int64   `json:"pool_tasks"`
+			AllocBytes        int64   `json:"alloc_bytes"`
+			AllocsApproximate bool    `json:"allocs_approximate"`
+		} `json:"resources"`
+	}
+	getJSON(t, ts.URL+"/v1/jobs/"+st.ID+"/obs", &jo)
+	if jo.Resources == nil {
+		t.Fatal("jobs-obs payload has no resources section")
+	}
+	if jo.Resources.CPUSeconds != final.CPUSeconds || jo.Resources.PoolTasks != final.PoolTasks {
+		t.Errorf("jobs-obs resources %+v disagree with job status (cpu=%v tasks=%d)",
+			jo.Resources, final.CPUSeconds, final.PoolTasks)
+	}
+	if !jo.Resources.AllocsApproximate {
+		t.Error("alloc deltas not flagged approximate")
+	}
+
+	body := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"serve_job_cpu_seconds_count", "serve_job_allocs_count",
+		"serve_job_alloc_bytes_count", "runtime_heap_bytes",
+		"# HELP serve_job_cpu_seconds ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestJobAttributionDisabledIsZero locks the gate: with instrumentation
+// off, the job runs unmetered — no clock reads, no alloc snapshots — and
+// the status reports zeros rather than half-collected numbers.
+func TestJobAttributionDisabledIsZero(t *testing.T) {
+	obs.SetEnabled(false)
+	_, ts := testServer(t, Config{Shards: 2})
+	st, _ := submitJob(t, ts.URL, `{"factor":"crown4","seed":1}`)
+	final := waitState(t, ts.URL, st.ID, "done")
+	if final.CPUSeconds != 0 || final.PoolTasks != 0 || final.AllocBytesApprox != 0 {
+		t.Errorf("disabled run still attributed: cpu=%v tasks=%d bytes=%d",
+			final.CPUSeconds, final.PoolTasks, final.AllocBytesApprox)
+	}
+}
+
+// TestFlightRecorderSeesJobLifecycle submits and finishes a job, then
+// reads /debug/flightrecorder: the dump must carry the job's lifecycle
+// trail and the request records that drove it.
+func TestFlightRecorderSeesJobLifecycle(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	st, _ := submitJob(t, ts.URL, `{"factor":"crown4","seed":1}`)
+	waitState(t, ts.URL, st.ID, "done")
+	dump := getBody(t, ts.URL+"/debug/flightrecorder")
+	for _, want := range []string{
+		`cat=job ev="job submitted"`,
+		`cat=job ev="job running"`,
+		`cat=job ev="job done"`,
+		`cat=http ev="jobs.submit"`,
+		"\nmetrics {",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("flight dump missing %q\n--- dump ---\n%s", want, dump)
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// BenchmarkServeJobAttribution measures one generation run through the
+// manager, obs disabled vs enabled — the disabled-vs-enabled contract
+// for per-job attribution (meter on the context, alloc bracketing),
+// policed by benchcheck under the BenchmarkServe 1.5x family bound.
+func BenchmarkServeJobAttribution(b *testing.B) {
+	s := New(Config{Workers: 1, Shards: 2})
+	defer s.Shutdown(time.Second)
+	sp := spec.Spec{Factors: []string{"crown6"}, Seed: 1}.WithDefaults()
+	p, err := s.cache.get(sp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			j := &Job{id: "bench", spec: sp, product: p, ctx: context.Background()}
+			if err := s.mgr.generate(context.Background(), j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) {
+		obs.SetEnabled(false)
+		run(b)
+	})
+	b.Run("enabled", func(b *testing.B) {
+		obs.SetEnabled(true)
+		defer obs.SetEnabled(false)
+		run(b)
+	})
+}

@@ -33,6 +33,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/obs", s.handleJobObs)
 	mux.Handle("GET /metrics", s.sloFresh(obs.Default.MetricsHandler()))
 	mux.Handle("GET /metrics.json", s.sloFresh(obs.Default.JSONHandler()))
+	mux.Handle("GET /debug/flightrecorder", obs.FlightHandler(obs.Default))
 	return mux
 }
 

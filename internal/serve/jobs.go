@@ -10,6 +10,7 @@ import (
 	"kronbip/internal/audit"
 	"kronbip/internal/core"
 	"kronbip/internal/exec"
+	"kronbip/internal/obs"
 	"kronbip/internal/obs/timeline"
 	"kronbip/internal/spec"
 )
@@ -77,6 +78,13 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// meter receives the job's pool attribution: while instrumentation
+	// is enabled, every generation shard the exec engine runs for this
+	// job adds its busy wall-time here (exec.WithMeter), which is the
+	// job's CPU time under the one-core-per-shard model.  Atomic
+	// internally; read without mu.
+	meter exec.Meter
+
 	mu              sync.Mutex
 	state           JobState
 	errMsg          string
@@ -84,6 +92,8 @@ type Job struct {
 	started         time.Time
 	finished        time.Time
 	edges           int64 // edges streamed by the generation run
+	allocBytes      int64 // heap bytes allocated during the run (process-wide delta)
+	allocObjects    int64 // heap objects allocated during the run (process-wide delta)
 	auditChecks     int
 	auditViolations int
 	done            chan struct{} // closed on entering a terminal state
@@ -103,6 +113,14 @@ type JobStatus struct {
 	AuditViolations  int     `json:"audit_violations,omitempty"`
 	Created          string  `json:"created"`
 	RunSeconds       float64 `json:"run_seconds,omitempty"`
+	// Resource attribution (zero until the run starts; alloc fields are
+	// process-wide deltas, so concurrent jobs inflate each other's —
+	// approximate by construction, unlike cpu_seconds/pool_tasks which
+	// are exact per-job sums).
+	CPUSeconds       float64 `json:"cpu_seconds,omitempty"`
+	PoolTasks        int64   `json:"pool_tasks,omitempty"`
+	AllocBytesApprox int64   `json:"alloc_bytes_approx,omitempty"`
+	AllocsApprox     int64   `json:"allocs_approx,omitempty"`
 	RequestID        string  `json:"request_id,omitempty"` // submitting request
 	TraceID          string  `json:"trace_id,omitempty"`
 }
@@ -123,6 +141,10 @@ func (j *Job) Status() JobStatus {
 		AuditChecks:      j.auditChecks,
 		AuditViolations:  j.auditViolations,
 		Created:          j.created.UTC().Format(time.RFC3339Nano),
+		CPUSeconds:       j.meter.BusySeconds(),
+		PoolTasks:        j.meter.Tasks(),
+		AllocBytesApprox: j.allocBytes,
+		AllocsApprox:     j.allocObjects,
 		RequestID:        j.reqID,
 		TraceID:          j.traceID,
 	}
@@ -157,14 +179,17 @@ func (j *Job) finish(err error) {
 	case err == nil:
 		j.state = StateDone
 		mJobsDone.Inc()
+		obs.Flight.RecordNote(obs.FlightInfo, "job", "job done", int64(j.seq), j.edges, j.reqID)
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.errMsg = "cancelled"
 		mJobsCancel.Inc()
+		obs.Flight.RecordNote(obs.FlightInfo, "job", "job cancelled", int64(j.seq), j.edges, j.reqID)
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		mJobsFailed.Inc()
+		obs.Flight.RecordNote(obs.FlightError, "job", "job failed", int64(j.seq), j.edges, j.errMsg)
 	}
 	j.finished = time.Now()
 	close(j.done)
@@ -184,6 +209,7 @@ func (j *Job) cancelIfQueued() bool {
 	close(j.done)
 	j.mu.Unlock()
 	mJobsCancel.Inc()
+	obs.Flight.RecordNote(obs.FlightInfo, "job", "job cancelled queued", int64(j.seq), 0, j.reqID)
 	j.cancel()
 	return true
 }
@@ -234,12 +260,14 @@ func newManager(cfg Config) *manager {
 func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri requestInfo) (*Job, error) {
 	if m.cfg.MaxEdges > 0 && p.NumEdges() > m.cfg.MaxEdges {
 		mRejected.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject too-large", p.NumEdges(), m.cfg.MaxEdges, ri.id)
 		return nil, fmt.Errorf("%w: |E_C|=%d > budget %d", ErrTooLarge, p.NumEdges(), m.cfg.MaxEdges)
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		mRejected.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject draining", 0, 0, ri.id)
 		return nil, ErrDraining
 	}
 	jctx, jcancel := context.WithCancel(m.baseCtx)
@@ -266,11 +294,13 @@ func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri request
 		gQueueDepth.Set(int64(len(m.queue)))
 		m.mu.Unlock()
 		mSubmitted.Inc()
+		obs.Flight.RecordNote(obs.FlightInfo, "job", "job submitted", int64(j.seq), p.NumEdges(), ri.id)
 		return j, nil
 	default:
 		m.mu.Unlock()
 		jcancel()
 		mRejected.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject saturated", int64(m.cfg.QueueDepth), 0, ri.id)
 		return nil, ErrSaturated
 	}
 }
@@ -359,6 +389,7 @@ func (m *manager) drain(ctx context.Context) error {
 	queued := make([]*Job, len(m.order))
 	copy(queued, m.order)
 	m.mu.Unlock()
+	obs.Flight.Record(obs.FlightInfo, "serve", "drain begin", int64(len(queued)), 0)
 	for _, j := range queued {
 		j.cancelIfQueued()
 	}
@@ -366,10 +397,12 @@ func (m *manager) drain(ctx context.Context) error {
 	go func() { m.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		obs.Flight.Record(obs.FlightInfo, "serve", "drain done", 0, 0)
 		return nil
 	case <-ctx.Done():
 		m.baseCancel()
 		<-done
+		obs.Flight.Record(obs.FlightError, "serve", "drain timeout", 0, 0)
 		return fmt.Errorf("serve: drain timeout: %w", ctx.Err())
 	}
 }
@@ -401,6 +434,7 @@ func (m *manager) run(j *Job) {
 	if !j.claim() {
 		return // cancelled while queued
 	}
+	obs.Flight.RecordNote(obs.FlightInfo, "job", "job running", int64(j.seq), j.product.NumEdges(), j.reqID)
 	gJobsRunning.Add(1)
 	defer gJobsRunning.Add(-1)
 	ctx := j.ctx
@@ -422,6 +456,16 @@ func (m *manager) run(j *Job) {
 		end(err)
 	}
 	j.finish(err)
+	// Attribution roll-up, once per job at the batch boundary: the
+	// meter's shard sums become one histogram observation per family.
+	if obs.Enabled() {
+		hJobCPUSecs.Observe(j.meter.BusySeconds())
+		j.mu.Lock()
+		ab, ao := j.allocBytes, j.allocObjects
+		j.mu.Unlock()
+		hJobAllocBytes.Observe(float64(ab))
+		hJobAllocs.Observe(float64(ao))
+	}
 }
 
 // generate performs the job's generation run on the exec engine: the
@@ -430,6 +474,22 @@ func (m *manager) run(j *Job) {
 // itself is never stored; /v1/jobs/{id}/edges re-derives it on demand,
 // which is the paper's whole point.
 func (m *manager) generate(ctx context.Context, j *Job) error {
+	// Resource attribution, gated on the usual one atomic load: the
+	// job's meter rides the context into the exec pool (per-shard busy
+	// time), and the run is bracketed by cumulative-alloc snapshots.
+	// The alloc delta is process-wide — concurrent jobs bleed into each
+	// other — so it is surfaced with an _approx suffix, while the meter
+	// sums are exact per-job.
+	if obs.Enabled() {
+		ctx = exec.WithMeter(ctx, &j.meter)
+		b0, o0 := obs.AllocSnapshot()
+		defer func() {
+			b1, o1 := obs.AllocSnapshot()
+			j.mu.Lock()
+			j.allocBytes, j.allocObjects = b1-b0, o1-o0
+			j.mu.Unlock()
+		}()
+	}
 	if m.runHook != nil {
 		if err := m.runHook(ctx, j); err != nil {
 			return err

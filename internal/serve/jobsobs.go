@@ -29,8 +29,22 @@ type jobObsResponse struct {
 	EdgesPerSecond  float64 `json:"edges_per_second,omitempty"`
 	TimelineEnabled bool    `json:"timeline_enabled"`
 
-	JobEvents []jobObsEvent `json:"job_events,omitempty"`
-	Shards    *jobObsShards `json:"shards,omitempty"`
+	Resources *jobObsResources `json:"resources,omitempty"`
+	JobEvents []jobObsEvent    `json:"job_events,omitempty"`
+	Shards    *jobObsShards    `json:"shards,omitempty"`
+}
+
+// jobObsResources is the per-job attribution snapshot — the exact
+// per-job view behind the serve.job.* histograms.  CPU seconds and pool
+// tasks are exact sums over the job's own shards (exec.Meter); the
+// alloc deltas are process-wide brackets around the run, so concurrent
+// jobs inflate each other's — AllocsApproximate flags that.
+type jobObsResources struct {
+	CPUSeconds        float64 `json:"cpu_seconds"`
+	PoolTasks         int64   `json:"pool_tasks"`
+	AllocBytes        int64   `json:"alloc_bytes"`
+	Allocs            int64   `json:"allocs"`
+	AllocsApproximate bool    `json:"allocs_approximate"`
 }
 
 // jobObsEvent is one event from the job's timeline lane.
@@ -73,6 +87,15 @@ func (s *Server) handleJobObs(w http.ResponseWriter, r *http.Request) {
 	}
 	if st.RunSeconds > 0 {
 		resp.EdgesPerSecond = float64(st.EdgesStreamed) / st.RunSeconds
+	}
+	if st.CPUSeconds > 0 || st.PoolTasks > 0 || st.AllocBytesApprox > 0 {
+		resp.Resources = &jobObsResources{
+			CPUSeconds:        st.CPUSeconds,
+			PoolTasks:         st.PoolTasks,
+			AllocBytes:        st.AllocBytesApprox,
+			Allocs:            st.AllocsApprox,
+			AllocsApproximate: true,
+		}
 	}
 	if resp.TimelineEnabled {
 		events, _ := timeline.Default.Snapshot()

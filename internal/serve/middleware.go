@@ -108,6 +108,20 @@ func (s *Server) withMiddleware(h http.Handler) http.Handler {
 					s.sloHist.Observe(elapsed)
 				}
 			}
+			// Flight trail: each non-probe request leaves one fixed-size
+			// ring record — the dump's stand-in for the last N access-log
+			// lines.  All fields are pre-existing (route is from the
+			// static label table, ri.id was built for the response
+			// header), so the append allocates nothing.  Probe routes are
+			// skipped: a readiness poll every second would displace the
+			// events a post-mortem actually needs.
+			if !probe {
+				sev := obs.FlightInfo
+				if status >= 500 {
+					sev = obs.FlightWarn
+				}
+				obs.Flight.RecordNote(sev, "http", route, int64(status), int64(elapsed*1e6), ri.id)
+			}
 			s.logAccess(r, ri, route, status, sw.bytes, elapsed)
 		}()
 		h.ServeHTTP(sw, r)

@@ -185,6 +185,8 @@ func routeLabel(r *http.Request) string {
 		return "metrics"
 	case p == "/metrics.json":
 		return "metrics.json"
+	case p == "/debug/flightrecorder":
+		return "debug.flight"
 	case p == "/v1/stats":
 		return "stats"
 	case p == "/v1/truth":
@@ -229,7 +231,7 @@ func routeLabel(r *http.Request) string {
 // failing probes).
 func isProbeRoute(route string) bool {
 	switch route {
-	case "healthz", "readyz", "metrics", "metrics.json":
+	case "healthz", "readyz", "metrics", "metrics.json", "debug.flight":
 		return true
 	}
 	return false
@@ -239,7 +241,7 @@ func isProbeRoute(route string) bool {
 // construction so the RED table never grows on the request path and the
 // exported metric-name table is deterministic from the first scrape.
 var routeLabels = []string{
-	"healthz", "readyz", "metrics", "metrics.json", "stats", "truth",
-	"jobs.submit", "jobs.list", "jobs.get", "jobs.cancel", "jobs.edges",
-	"jobs.obs", "other",
+	"healthz", "readyz", "metrics", "metrics.json", "debug.flight",
+	"stats", "truth", "jobs.submit", "jobs.list", "jobs.get",
+	"jobs.cancel", "jobs.edges", "jobs.obs", "other",
 }

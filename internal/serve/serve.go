@@ -74,6 +74,15 @@ var (
 	mJobsCancel   = obs.Default.Counter("serve.jobs.cancelled")
 	mStreamEdges  = obs.Default.Counter("serve.stream.edges") // edges sent to clients, batched
 	mStreamAborts = obs.Default.Counter("serve.stream.aborts")
+	// Per-job resource attribution (DESIGN.md §6a): observed once per
+	// finished job, never per edge or per shard.  These are histograms,
+	// not per-job-id labeled series — job ids are unbounded, so labeling
+	// by them would grow the registry without limit and break the
+	// deterministic exported-name contract; the exact per-job numbers
+	// live in the job status JSON and GET /v1/jobs/{id}/obs instead.
+	hJobCPUSecs    = obs.Default.Histogram("serve.job.cpu_seconds")
+	hJobAllocs     = obs.Default.Histogram("serve.job.allocs", 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
+	hJobAllocBytes = obs.Default.Histogram("serve.job.alloc_bytes", 1e6, 1e7, 1e8, 1e9, 1e10, 1e11)
 )
 
 // DefaultMaxEdges is the default per-job closed-form edge budget: large
@@ -221,6 +230,15 @@ func New(cfg Config) *Server {
 		P99Max:       cfg.SLOP99,
 		ErrorRateMax: *cfg.SLOErrorRate,
 	})
+	// HELP text for the attribution families: the numbers are models
+	// (busy wall-time as CPU, process-wide alloc deltas), and a scrape
+	// should say so without the reader opening DESIGN.md.
+	obs.Default.SetHelp("serve.job.cpu_seconds",
+		"Attributed CPU per job: busy wall-time summed over its generation shards.")
+	obs.Default.SetHelp("serve.job.allocs",
+		"Approximate heap objects allocated during a job's run (process-wide delta).")
+	obs.Default.SetHelp("serve.job.alloc_bytes",
+		"Approximate heap bytes allocated during a job's run (process-wide delta).")
 	// Pre-resolve the full route-label table so the RED map never grows
 	// on the request path and the exported name set is deterministic
 	// from the first scrape.

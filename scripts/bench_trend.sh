@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench_trend.sh — compare the two newest BENCH_<date>.json records
+# (written by `make bench-json`) and print the trend: the per-benchmark
+# verdicts from cmd/benchcheck (the same thresholds `make bench-check`
+# enforces) followed by a per-family roll-up — mean/min/max ns/op ratio
+# for the Stream, Serve and general benchmark families — so a reviewer
+# sees at a glance which layer moved, not just which single benchmark.
+#
+# Exit status is benchcheck's: 0 in-bounds, 1 on a regression beyond a
+# family limit.  CI runs this non-blocking (records come from different
+# machines; the trend is advisory there), while `make bench-check`
+# remains the blocking local gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=$(ls BENCH_*.json 2>/dev/null | wc -l)
+if [ "$count" -lt 2 ]; then
+    echo "bench_trend: fewer than two BENCH_*.json records; nothing to compare"
+    exit 0
+fi
+
+status=0
+out=$(go run ./cmd/benchcheck -dir . "$@") || status=$?
+printf '%s\n' "$out"
+
+printf '%s\n' "$out" | awk '
+    # benchcheck BenchmarkX: old=N new=M ratio=R (limit Lx) verdict
+    /^benchcheck Benchmark/ && /ratio=/ {
+        name = $2; sub(/:$/, "", name)
+        ratio = 0
+        for (i = 1; i <= NF; i++)
+            if ($i ~ /^ratio=/) { ratio = substr($i, 7) + 0 }
+        fam = "general"
+        if (name ~ /^BenchmarkStream_/) fam = "stream"
+        else if (name ~ /^BenchmarkServe/) fam = "serve"
+        n[fam]++; sum[fam] += ratio
+        if (!(fam in min) || ratio < min[fam]) min[fam] = ratio
+        if (!(fam in max) || ratio > max[fam]) max[fam] = ratio
+    }
+    END {
+        print "bench_trend: family deltas (new/old ns/op; <1 is faster)"
+        fams = "stream serve general"
+        split(fams, order, " ")
+        for (i = 1; i <= 3; i++) {
+            f = order[i]
+            if (n[f] > 0)
+                printf "bench_trend:   %-8s n=%-3d mean=%.2f min=%.2f max=%.2f\n",
+                    f, n[f], sum[f] / n[f], min[f], max[f]
+        }
+    }'
+
+exit "$status"

@@ -13,23 +13,36 @@
 #      the closed-form /v1/truth edge count for the same spec
 #   5. saturate the 1-worker/1-slot queue with big jobs and verify the
 #      next submission bounces with 429 + Retry-After
-#   6. /metrics exposes the serve counters (incl. a real cache hit) and
-#      the windowed SLO gauges: healthy, populated, p99 within target
-#   7. SIGINT drains and the process exits 0; -metrics-out is written;
-#      the access log and timeline journal carry the request/trace ids
+#   6. /metrics exposes the serve counters (incl. a real cache hit), the
+#      windowed SLO gauges (healthy, populated, p99 within target), the
+#      runtime.* telemetry, and the per-job attribution histograms
+#   7. SIGQUIT on the live server writes a flight-recorder dump carrying
+#      the job lifecycle and http trails — and the server keeps serving
+#   8. SIGINT drains and the process exits 0; -metrics-out is written;
+#      the access log and timeline journal carry the request/trace ids;
+#      a final flight dump lands at the -flight-dump path
 #
 # Usage: scripts/serve_smoke.sh   (from anywhere inside the repo)
+# Set SMOKE_DIR to keep the scratch dir (server log, flight dump,
+# access log) for artifact collection instead of a throwaway mktemp.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-tmp=$(mktemp -d)
+if [ -n "${SMOKE_DIR:-}" ]; then
+  tmp=$SMOKE_DIR
+  mkdir -p "$tmp"
+  keep_tmp=1
+else
+  tmp=$(mktemp -d)
+  keep_tmp=
+fi
 srv_pid=
 cleanup() {
   if [ -n "$srv_pid" ] && kill -0 "$srv_pid" 2>/dev/null; then
     kill "$srv_pid" 2>/dev/null || true
     wait "$srv_pid" 2>/dev/null || true
   fi
-  rm -rf "$tmp"
+  [ -n "$keep_tmp" ] || rm -rf "$tmp"
 }
 trap cleanup EXIT
 
@@ -52,7 +65,8 @@ go build -o "$tmp/kronbip" ./cmd/kronbip
 # saturation check deterministic.
 "$tmp/kronbip" serve -addr 127.0.0.1:0 -workers 1 -queue 1 \
   -metrics-out "$tmp/metrics.json" -access-log "$tmp/access.log" \
-  -journal-out "$tmp/journal.log" 2>"$tmp/serve.log" &
+  -journal-out "$tmp/journal.log" -flight-dump "$tmp/flight.dump" \
+  2>"$tmp/serve.log" &
 srv_pid=$!
 
 addr=
@@ -158,7 +172,39 @@ awk '$1 == "serve_slo_p99_us" {p99=$2} $1 == "serve_slo_p99_target_us" {t=$2}
 grep -q 'serve_http_requests{route="truth"}' "$tmp/metrics.prom" || fail "/metrics missing per-route RED series"
 echo "serve-smoke: SLO gauges populated and within objective (p99 ok, window_requests=$slo_reqs)"
 
-# 7. SIGINT drains and exits 0; the -metrics-out snapshot lands.
+# 6c. Runtime telemetry and per-job resource attribution: the scrape
+# itself samples the runtime collector, and the finished job from step 3
+# must have landed in the attribution histograms.
+for m in runtime_heap_bytes runtime_goroutines serve_job_cpu_seconds; do
+  grep -q "$m" "$tmp/metrics.prom" || fail "/metrics missing $m"
+done
+heap=$(awk '$1 == "runtime_heap_bytes" {print $2}' "$tmp/metrics.prom")
+[ "${heap:-0}" -ge 1 ] || fail "runtime_heap_bytes=$heap, want > 0"
+cpu_n=$(awk '$1 == "serve_job_cpu_seconds_count" {print $2}' "$tmp/metrics.prom")
+[ "${cpu_n:-0}" -ge 1 ] || fail "serve_job_cpu_seconds_count=$cpu_n after a finished job"
+echo "serve-smoke: runtime telemetry live, $cpu_n job(s) attributed (heap=${heap}B)"
+
+# 7. SIGQUIT writes a flight-recorder dump — and the server survives it.
+# The dump must carry the job lifecycle and http trails for the traffic
+# above; afterwards the server still answers and still streams.
+kill -QUIT "$srv_pid"
+for _ in $(seq 1 100); do
+  [ -s "$tmp/flight.dump" ] && break
+  sleep 0.1
+done
+[ -s "$tmp/flight.dump" ] || fail "SIGQUIT produced no flight dump at -flight-dump path"
+grep -q '^flightrec ' "$tmp/flight.dump" || fail "flight dump lacks its header"
+grep -q 'cat=job ev="job submitted"' "$tmp/flight.dump" || fail "flight dump lacks job lifecycle events"
+grep -q 'cat=job ev="job done"' "$tmp/flight.dump" || fail "flight dump lacks job completion"
+grep -q 'cat=http ev="jobs.submit"' "$tmp/flight.dump" || fail "flight dump lacks http request records"
+grep -q '^metrics {' "$tmp/flight.dump" || fail "flight dump lacks the metrics snapshot line"
+kill -0 "$srv_pid" 2>/dev/null || fail "server died on SIGQUIT (dump should not be fatal)"
+curl -fsS "$base/healthz" >/dev/null || fail "server stopped answering after SIGQUIT"
+post_quit=$(curl -fsS "$base/v1/jobs/$job_id/edges?format=tsv" | wc -l | tr -d ' ')
+[ "$post_quit" = "$want" ] || fail "post-SIGQUIT edge stream has $post_quit lines, want $want"
+echo "serve-smoke: SIGQUIT dumped $(wc -l <"$tmp/flight.dump" | tr -d ' ') flight lines; server still serving"
+
+# 8. SIGINT drains and exits 0; the -metrics-out snapshot lands.
 kill -INT "$srv_pid"
 rc=0
 wait "$srv_pid" || rc=$?
@@ -167,8 +213,9 @@ srv_pid=
 [ -s "$tmp/metrics.json" ] || fail "-metrics-out snapshot missing or empty"
 grep -q 'serve.http.requests' "$tmp/metrics.json" || fail "-metrics-out lacks serve metrics"
 
-# 7b. The access log carries the correlation identity for every request,
-# and the timeline journal's job lane carries the submitted trace id.
+# 8b. The access log carries the correlation identity for every request
+# (the buffered file sink must have been flushed on drain), and the
+# timeline journal's job lane carries the submitted trace id.
 [ -s "$tmp/access.log" ] || fail "access log missing or empty"
 grep -q 'req_id=smoke-req-1' "$tmp/access.log" || fail "access log lacks the client request id"
 grep -q "trace_id=$trace_id" "$tmp/access.log" || fail "access log lacks the client trace id"
@@ -176,5 +223,10 @@ grep -q 'route=jobs.submit' "$tmp/access.log" || fail "access log lacks route la
 [ -s "$tmp/journal.log" ] || fail "timeline journal missing or empty"
 grep -q "cat=job .*trace_id=$trace_id" "$tmp/journal.log" || fail "journal job lane lacks the trace id"
 echo "serve-smoke: access log and journal carry request/trace ids"
+
+# 8c. The drain left a final flight dump (overwriting the SIGQUIT one)
+# that records the shutdown sequence itself.
+grep -q 'cat=serve ev="drain begin"' "$tmp/flight.dump" || fail "final flight dump lacks the drain trail"
+echo "serve-smoke: final flight dump records the drain"
 
 echo "serve-smoke: PASS"
