@@ -7,6 +7,7 @@
 #   make bench-check- compare the last two BENCH_<date>.json records
 #   make bench-trend- bench-check plus per-family delta roll-up
 #   make serve-smoke- end-to-end smoke test of the kronbip serve service
+#   make distgen-smoke - distributed generation smoke: 3-replica fleet + dist-gen
 #   make check      - everything (what CI should run)
 
 GO ?= go
@@ -18,9 +19,9 @@ BENCH_DATE := $(shell date +%Y-%m-%dT%H%M%S)
 # Packages with nontrivial concurrency: everything scheduled on the
 # internal/exec engine plus the engine itself, the obs registry the
 # instrumented paths hammer concurrently, and the serve job manager.
-RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit ./internal/serve
+RACE_PKGS = ./internal/exec ./internal/core ./internal/count ./internal/grb ./internal/dist ./internal/obs ./internal/obs/timeline ./internal/audit ./internal/serve ./internal/distgen
 
-.PHONY: all vet build test race bench bench-json bench-check bench-trend serve-smoke check
+.PHONY: all vet build test race bench bench-json bench-check bench-trend serve-smoke distgen-smoke check
 
 all: vet build test
 
@@ -41,6 +42,7 @@ bench:
 	$(GO) test -bench . -benchtime 100x ./internal/exec
 	$(GO) test -run XXX -bench 'BenchmarkServe' ./internal/serve
 	$(GO) test -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs
+	$(GO) test -run XXX -bench 'BenchmarkDistGen' ./internal/distgen
 
 # bench-json records the same runs in `go test -json` form, one dated
 # file per day, for diffing throughput across PRs.
@@ -48,7 +50,8 @@ bench-json:
 	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
 	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; \
 	  $(GO) test -json -run XXX -bench 'BenchmarkServe' ./internal/serve ; \
-	  $(GO) test -json -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs ; } > BENCH_$(BENCH_DATE).json
+	  $(GO) test -json -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs ; \
+	  $(GO) test -json -run XXX -bench 'BenchmarkDistGen' ./internal/distgen ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
 
 # bench-check compares the two most recent records: 2x threshold for
@@ -56,7 +59,8 @@ bench-json:
 # quadratic blowups, not machine-to-machine noise), a tight 1.2x for
 # the BenchmarkStream_* family — a >20% slide in the edge-streaming hot
 # paths fails the build — and 1.5x for BenchmarkServe* (HTTP middleware
-# per-request cost and per-job attribution overhead).  Results under the
+# per-request cost and per-job attribution overhead) and BenchmarkDistGen*
+# (the dist-gen coordinator's parse/verify/merge path).  Results under the
 # 500ns noise floor never fail: nanosecond ops at -benchtime 100x
 # measure scheduler jitter, not the code.  Passes trivially with fewer
 # than two records.  bench-trend wraps the same comparison with a
@@ -74,4 +78,12 @@ bench-trend:
 serve-smoke:
 	scripts/serve_smoke.sh
 
-check: vet build test race serve-smoke
+# distgen-smoke runs distributed generation against a live 3-replica
+# fleet: dist-gen merges the leased blocks, the merged total matches
+# the /v1/truth closed form, the run's request id correlates the lease
+# traffic across every replica's access log, and a re-run is
+# byte-identical.
+distgen-smoke:
+	scripts/distgen_smoke.sh
+
+check: vet build test race serve-smoke distgen-smoke

@@ -50,6 +50,7 @@ func realMain(args []string, out io.Writer) int {
 	threshold := fs.Float64("threshold", 2.0, "fail when new ns/op exceeds old by this factor")
 	streamThreshold := fs.Float64("stream-threshold", 1.2, "tighter factor applied to BenchmarkStream_* results")
 	serveThreshold := fs.Float64("serve-threshold", 1.5, "factor applied to BenchmarkServe* results (middleware per-request cost)")
+	distgenThreshold := fs.Float64("distgen-threshold", 1.5, "factor applied to BenchmarkDistGen* results (coordinator merge path)")
 	noiseFloor := fs.Float64("noise-floor", 500, "ns/op below which a result never counts as regressed")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,7 +69,14 @@ func realMain(args []string, out io.Writer) int {
 		fmt.Fprintf(out, "benchcheck: baseline %s missing; nothing to compare\n", old)
 		return 0
 	}
-	if err := compare(old, new_, thresholds{general: *threshold, stream: *streamThreshold, serve: *serveThreshold, noiseFloor: *noiseFloor}, out); err != nil {
+	th := thresholds{
+		general:    *threshold,
+		stream:     *streamThreshold,
+		serve:      *serveThreshold,
+		distgen:    *distgenThreshold,
+		noiseFloor: *noiseFloor,
+	}
+	if err := compare(old, new_, th, out); err != nil {
 		return cli.Fail("benchcheck", err)
 	}
 	return 0
@@ -77,9 +85,10 @@ func realMain(args []string, out io.Writer) int {
 // thresholds carries the per-family regression bounds.  Stream
 // benchmarks (the BenchmarkStream_ prefix, including /subtest variants)
 // get the tight bound; serve benchmarks (BenchmarkServe*, the HTTP
-// middleware per-request cost) an intermediate one — microseconds per
-// op, so steadier than the general pool but noisier than the
-// million-edge stream loops; everything else the generous one.
+// middleware per-request cost) and distgen benchmarks (BenchmarkDistGen*,
+// the coordinator's parse+verify+ordered-merge path) an intermediate one
+// — microseconds per op, so steadier than the general pool but noisier
+// than the million-edge stream loops; everything else the generous one.
 // noiseFloor is the absolute ns/op under which no ratio is trusted:
 // nanosecond-scale ops at -benchtime 100x measure scheduler jitter,
 // not the code.
@@ -87,12 +96,14 @@ type thresholds struct {
 	general    float64
 	stream     float64
 	serve      float64
+	distgen    float64
 	noiseFloor float64
 }
 
 const (
-	streamPrefix = "BenchmarkStream_"
-	servePrefix  = "BenchmarkServe"
+	streamPrefix  = "BenchmarkStream_"
+	servePrefix   = "BenchmarkServe"
+	distgenPrefix = "BenchmarkDistGen"
 )
 
 func (t thresholds) for_(name string) float64 {
@@ -101,6 +112,8 @@ func (t thresholds) for_(name string) float64 {
 		return t.stream
 	case strings.HasPrefix(name, servePrefix):
 		return t.serve
+	case strings.HasPrefix(name, distgenPrefix):
+		return t.distgen
 	}
 	return t.general
 }
@@ -169,8 +182,8 @@ func compare(oldPath, newPath string, th thresholds, out io.Writer) error {
 		}
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond their limit (%.1fx general, %.1fx stream, %.1fx serve; %s vs %s)",
-			regressed, th.general, th.stream, th.serve, filepath.Base(oldPath), filepath.Base(newPath))
+		return fmt.Errorf("%d benchmark(s) regressed beyond their limit (%.1fx general, %.1fx stream, %.1fx serve, %.1fx distgen; %s vs %s)",
+			regressed, th.general, th.stream, th.serve, th.distgen, filepath.Base(oldPath), filepath.Base(newPath))
 	}
 	// Disjoint benchmark sets (a rename sweep, a record from a different
 	// package list) leave nothing comparable — note it and pass.

@@ -123,6 +123,35 @@ func TestStreamThresholdTighter(t *testing.T) {
 	}
 }
 
+// TestDistgenThresholdIntermediate: a 1.8x slide passes a general
+// benchmark (2.0x) but fails a BenchmarkDistGen* one, whose limit is
+// 1.5x — and the family has its own flag.
+func TestDistgenThresholdIntermediate(t *testing.T) {
+	dir := t.TempDir()
+	old := record(t, dir, "BENCH_2026-01-01.json", [][2]string{
+		{"BenchmarkDistGenMerge", "1000"}, {"BenchmarkOther", "1000"},
+	})
+	new_ := record(t, dir, "BENCH_2026-01-02.json", [][2]string{
+		{"BenchmarkDistGenMerge", "1800"}, {"BenchmarkOther", "1800"},
+	})
+	var out bytes.Buffer
+	if code := realMain([]string{old, new_}, &out); code == 0 {
+		t.Fatalf("1.8x distgen regression passed, output:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"BenchmarkDistGenMerge: old=1000 new=1800 ratio=1.80 (limit 1.5x) REGRESSED",
+		"BenchmarkOther: old=1000 new=1800 ratio=1.80 (limit 2.0x) ok",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if code := realMain([]string{"-distgen-threshold", "1.9", old, new_}, &out); code != 0 {
+		t.Fatalf("exit %d under -distgen-threshold 1.9, output:\n%s", code, out.String())
+	}
+}
+
 // TestNoiseFloor: nanosecond-scale jitter (10ns -> 67ns at 100
 // iterations) passes regardless of ratio, but a genuine blowup on the
 // same benchmark clears the floor and still fails.

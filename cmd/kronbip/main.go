@@ -25,6 +25,13 @@
 //	    /v1/truth and /v1/stats from factor closed forms, NDJSON/TSV edge
 //	    streaming, /metrics.  SIGINT drains running jobs and exits 0.
 //
+//	kronbip dist-gen  -worker http://h1:8080 -worker http://h2:8080 -factor crown4
+//	    Coordinate distributed generation: partition the spec into a 2D
+//	    block grid, lease blocks to the serve replicas (POST /v1/leases),
+//	    and merge the returned streams into one verified, ordered edge
+//	    list (internal/distgen).  Failed or straggling leases are
+//	    re-issued; -audit runs the ground-truth auditor on the merge.
+//
 //	kronbip version
 //	    Print the build identity (module version, go version, VCS revision)
 //	    from debug.ReadBuildInfo — the same identity serve reports in its
@@ -108,6 +115,8 @@ func main() {
 		err = cmdVerify(ctx, args)
 	case "serve":
 		err = cmdServe(ctx, args)
+	case "dist-gen":
+		err = cmdDistGen(ctx, args)
 	case "version", "-version", "--version":
 		fmt.Printf("kronbip %s\n", cli.Build())
 	case "-h", "--help", "help":
@@ -123,7 +132,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: kronbip <generate|stats|truth|verify|serve|version> [flags]  (run a subcommand with -h for its flags)")
+	fmt.Fprintln(os.Stderr, "usage: kronbip <generate|stats|truth|verify|serve|dist-gen|version> [flags]  (run a subcommand with -h for its flags)")
 }
 
 // factorChain collects repeated -factor flags in chain order.  The flag

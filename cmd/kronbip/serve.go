@@ -31,6 +31,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	retention := fs.Int("retention", 64, "finished jobs kept pollable before eviction")
 	cacheSize := fs.Int("cache", 128, "factor-spec product cache capacity (LRU)")
 	shards := fs.Int("shards", 0, "per-job generation shards (0 = GOMAXPROCS)")
+	maxLeases := fs.Int("max-leases", 0, "concurrent block leases streamed for dist-gen coordinators before 429 (0 = 2×GOMAXPROCS)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: running jobs and open responses get this long to finish")
 	auditOn := fs.Bool("audit", false, "run the online ground-truth auditor inside every job by default")
 	auditSample := fs.Int("audit-sample", 0, "auditor edge-membership sampling stride (0 = default 1024)")
@@ -93,6 +94,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		Retention:      *retention,
 		CacheSize:      *cacheSize,
 		Shards:         *shards,
+		MaxLeases:      *maxLeases,
 		Audit:          *auditOn,
 		AuditSample:    *auditSample,
 		SLOWindow:      *sloWindow,

@@ -31,6 +31,7 @@ func (s *Server) routes() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/edges", s.handleJobEdges)
 	mux.HandleFunc("GET /v1/jobs/{id}/obs", s.handleJobObs)
+	mux.HandleFunc("POST /v1/leases", s.handleLease)
 	mux.Handle("GET /metrics", s.sloFresh(obs.Default.MetricsHandler()))
 	mux.Handle("GET /metrics.json", s.sloFresh(obs.Default.JSONHandler()))
 	mux.Handle("GET /debug/flightrecorder", obs.FlightHandler(obs.Default))
@@ -356,7 +357,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Audit != nil {
 		auditOn = *req.Audit
 	}
-	j, err := s.mgr.submit(sp, p, auditOn, requestFrom(r.Context()))
+	// Idempotency key: same charset/length allowlist as request ids (the
+	// key lands in logs and flight records the same way).  A present but
+	// malformed key is a hard 400 — silently ignoring it would turn a
+	// client that thinks it has retry protection into one that double-
+	// submits.
+	idemKey := r.Header.Get(HeaderIdempotencyKey)
+	if idemKey != "" && !isSafeRequestID(idemKey) {
+		writeError(w, http.StatusBadRequest,
+			"bad %s: want 1..128 bytes of [A-Za-z0-9._:-]", HeaderIdempotencyKey)
+		return
+	}
+	j, existing, err := s.mgr.submit(sp, p, auditOn, idemKey, requestFrom(r.Context()))
 	switch {
 	case errors.Is(err, ErrTooLarge):
 		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
@@ -373,6 +385,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	if existing {
+		// Replayed idempotency key: the work was already admitted, so the
+		// answer is the existing job's current status — 200, not 202,
+		// because nothing was accepted for processing by THIS request.
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
 	writeJSON(w, http.StatusAccepted, j.Status())
 }
 

@@ -72,6 +72,10 @@ type Job struct {
 	// generation run it started.
 	reqID   string
 	traceID string
+	// idemKey is the client's idempotency key, when one was supplied at
+	// submission; the manager's idem index maps it back to this job until
+	// eviction.
+	idemKey string
 	// ctx is cancelled by DELETE, eviction or manager close — NOT by
 	// normal completion, so edge-stream requests for a finished job
 	// keep working until the job is evicted.
@@ -228,7 +232,8 @@ type manager struct {
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
-	order  []*Job // submission order, scanned for retention eviction
+	idem   map[string]*Job // idempotency key → the job it admitted
+	order  []*Job          // submission order, scanned for retention eviction
 	nextID int
 	closed bool
 
@@ -245,6 +250,7 @@ func newManager(cfg Config) *manager {
 		baseCancel: cancel,
 		queue:      make(chan *Job, cfg.QueueDepth),
 		jobs:       make(map[string]*Job),
+		idem:       make(map[string]*Job),
 	}
 	m.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -256,22 +262,35 @@ func newManager(cfg Config) *manager {
 // submit admits a job or rejects it: ErrTooLarge when the closed-form
 // edge count busts the budget (checked from factor stats alone, before
 // any generation), ErrSaturated when the queue is full, ErrDraining
-// during shutdown.
-func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri requestInfo) (*Job, error) {
+// during shutdown.  A non-empty idemKey already bound to a retained job
+// short-circuits to that job with existing=true — the at-most-once half
+// of the coordinator's retry contract: a resubmission after a dropped
+// response must not enqueue the work twice.  Keys bind only on
+// successful admission (a 429/413 retry is a fresh attempt) and unbind
+// when the job is evicted.
+func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, idemKey string, ri requestInfo) (j *Job, existing bool, err error) {
 	if m.cfg.MaxEdges > 0 && p.NumEdges() > m.cfg.MaxEdges {
 		mRejected.Inc()
 		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject too-large", p.NumEdges(), m.cfg.MaxEdges, ri.id)
-		return nil, fmt.Errorf("%w: |E_C|=%d > budget %d", ErrTooLarge, p.NumEdges(), m.cfg.MaxEdges)
+		return nil, false, fmt.Errorf("%w: |E_C|=%d > budget %d", ErrTooLarge, p.NumEdges(), m.cfg.MaxEdges)
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		mRejected.Inc()
 		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject draining", 0, 0, ri.id)
-		return nil, ErrDraining
+		return nil, false, ErrDraining
+	}
+	if idemKey != "" {
+		if prior, ok := m.idem[idemKey]; ok {
+			m.mu.Unlock()
+			mIdemReplays.Inc()
+			obs.Flight.RecordNote(obs.FlightInfo, "job", "idem replay", int64(prior.seq), 0, ri.id)
+			return prior, true, nil
+		}
 	}
 	jctx, jcancel := context.WithCancel(m.baseCtx)
-	j := &Job{
+	j = &Job{
 		id:      fmt.Sprintf("j%d", m.nextID+1),
 		seq:     m.nextID + 1,
 		spec:    sp,
@@ -279,6 +298,7 @@ func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri request
 		auditOn: auditOn,
 		reqID:   ri.id,
 		traceID: ri.traceID,
+		idemKey: idemKey,
 		ctx:     jctx,
 		cancel:  jcancel,
 		state:   StateQueued,
@@ -289,19 +309,22 @@ func (m *manager) submit(sp spec.Spec, p *core.Product, auditOn bool, ri request
 	case m.queue <- j:
 		m.nextID++
 		m.jobs[j.id] = j
+		if idemKey != "" {
+			m.idem[idemKey] = j
+		}
 		m.order = append(m.order, j)
 		m.evictLocked()
 		gQueueDepth.Set(int64(len(m.queue)))
 		m.mu.Unlock()
 		mSubmitted.Inc()
 		obs.Flight.RecordNote(obs.FlightInfo, "job", "job submitted", int64(j.seq), p.NumEdges(), ri.id)
-		return j, nil
+		return j, false, nil
 	default:
 		m.mu.Unlock()
 		jcancel()
 		mRejected.Inc()
 		obs.Flight.RecordNote(obs.FlightWarn, "job", "reject saturated", int64(m.cfg.QueueDepth), 0, ri.id)
-		return nil, ErrSaturated
+		return nil, false, ErrSaturated
 	}
 }
 
@@ -318,6 +341,9 @@ func (m *manager) evictLocked() {
 			if terminal {
 				m.order = append(m.order[:i], m.order[i+1:]...)
 				delete(m.jobs, j.id)
+				if j.idemKey != "" {
+					delete(m.idem, j.idemKey)
+				}
 				j.cancel()
 				evicted = true
 				break

@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"kronbip/internal/obs"
+	"kronbip/internal/spec"
+)
+
+// Block leases: POST /v1/leases is the worker half of distributed
+// generation (internal/distgen).  A coordinator partitions a spec's
+// canonical edge order into rows×cols blocks and asks one replica to
+// stream one block; determinism means any replica can serve any block,
+// a retried lease reproduces the identical bytes, and the closed-form
+// core.BlockEdgeCount lets both sides verify the stream without trust.
+//
+// Unlike jobs, a lease is synchronous: the response IS the work.  There
+// is no queue — admission is a concurrency cap (Config.MaxLeases) and a
+// full server answers 429 + Retry-After so the coordinator backs off
+// and routes the block to another replica.  Per-block audit is not
+// offered: degree sums and 4-cycle identities are whole-product
+// invariants, so the coordinator audits the merged stream instead and
+// verifies each block against its closed-form count.
+
+// HeaderBlockEdges carries the closed-form edge count of the leased
+// block, sent as a response header before the first edge so the
+// consumer knows the expected total up front (the exact streamed count
+// is repeated in the TrailerEdges trailer at EOF).
+const HeaderBlockEdges = "X-Kronbip-Block-Edges"
+
+// Lease metrics (request/latency/error series come from the shared RED
+// "leases" route; these cover the lease-specific lifecycle).
+var (
+	gLeasesActive = obs.Default.Gauge("serve.leases.active")
+	mLeasesDone   = obs.Default.Counter("serve.leases.completed")
+	mLeaseRejects = obs.Default.Counter("serve.leases.rejected") // 429 + 413 + 503
+	mLeaseAborts  = obs.Default.Counter("serve.leases.aborts")
+)
+
+// leaseRequest is the POST /v1/leases body.  The spec fields follow the
+// submitRequest vocabulary; the block coordinates follow
+// core.EachEdgeBlock: (row, col) of a rows×cols blocking of the
+// canonical edge order.
+type leaseRequest struct {
+	Factor  string   `json:"factor"`
+	Factors []string `json:"factors"`
+	Mode    string   `json:"mode"`
+	Seed    *int64   `json:"seed"`
+	Row     int      `json:"row"`
+	Rows    int      `json:"rows"`
+	Col     int      `json:"col"`
+	Cols    int      `json:"cols"`
+	Format  string   `json:"format"` // "ndjson" (default) or "tsv"
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		mLeaseRejects.Inc()
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+		return
+	}
+	var req leaseRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+		return
+	}
+	if req.Factor != "" && len(req.Factors) > 0 {
+		writeError(w, http.StatusBadRequest, `use either "factor" or "factors", not both`)
+		return
+	}
+	ndjson := true
+	switch req.Format {
+	case "", "ndjson":
+	case "tsv":
+		ndjson = false
+	default:
+		writeError(w, http.StatusBadRequest, "bad format %q (want ndjson or tsv)", req.Format)
+		return
+	}
+	factors := req.Factors
+	if req.Factor != "" {
+		factors = []string{req.Factor}
+	}
+	sp := spec.Spec{Factors: factors, Mode: req.Mode, Seed: spec.DefaultSeed}
+	if req.Seed != nil {
+		sp.Seed = *req.Seed
+	}
+	sp = sp.WithDefaults()
+	p, err := s.cache.get(sp)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	want, err := p.BlockEdgeCount(req.Row, req.Rows, req.Col, req.Cols)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The budget guards one lease's worth of generation, exactly as
+	// MaxEdges guards one job's: the closed form rejects before any work.
+	if s.cfg.MaxEdges > 0 && want > s.cfg.MaxEdges {
+		mLeaseRejects.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "lease", "reject too-large", want, s.cfg.MaxEdges, requestFrom(r.Context()).id)
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"%v: block carries %d edges > budget %d", ErrTooLarge, want, s.cfg.MaxEdges)
+		return
+	}
+	// Concurrency cap in place of a queue: a lease is synchronous, so
+	// "queued" would just hold the coordinator's connection open while
+	// another replica sits idle.  429 tells it to go elsewhere.
+	select {
+	case s.leaseSem <- struct{}{}:
+		defer func() { <-s.leaseSem; gLeasesActive.Add(-1) }()
+		gLeasesActive.Add(1)
+	default:
+		mLeaseRejects.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "lease", "reject saturated", int64(s.cfg.MaxLeases), 0, requestFrom(r.Context()).id)
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+		writeError(w, http.StatusTooManyRequests, "serve: lease capacity is full")
+		return
+	}
+
+	ri := requestFrom(r.Context())
+	obs.Flight.RecordNote(obs.FlightInfo, "lease", "lease start", int64(req.Row*req.Cols+req.Col), want, ri.id)
+
+	if ndjson {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	} else {
+		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
+	}
+	w.Header().Set(HeaderBlockEdges, strconv.FormatInt(want, 10))
+	w.Header().Set("Trailer", TrailerStatus+", "+TrailerEdges)
+	w.WriteHeader(http.StatusOK)
+
+	out := newStreamSink(w, ndjson)
+	var sinkErr error
+	err = p.EachEdgeBlockContext(r.Context(), req.Row, req.Rows, req.Col, req.Cols, func(v, wv int) bool {
+		if e := out.Edge(v, wv); e != nil {
+			sinkErr = e
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = sinkErr
+	}
+	if ferr := out.Flush(); err == nil && ferr != nil {
+		err = ferr
+	}
+
+	status := "complete"
+	if err != nil {
+		status = "aborted"
+		mLeaseAborts.Inc()
+		mStreamAborts.Inc()
+		obs.Flight.RecordNote(obs.FlightWarn, "lease", "lease aborted", out.n, want, ri.id)
+	} else {
+		mLeasesDone.Inc()
+		obs.Flight.RecordNote(obs.FlightInfo, "lease", "lease done", out.n, want, ri.id)
+	}
+	w.Header().Set(TrailerStatus, status)
+	w.Header().Set(TrailerEdges, strconv.FormatInt(out.n, 10))
+	if ri.id != "" {
+		w.Header().Set(http.TrailerPrefix+HeaderRequestID, ri.id)
+	}
+}

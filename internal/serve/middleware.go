@@ -102,9 +102,10 @@ func (s *Server) withMiddleware(h http.Handler) http.Handler {
 			}
 			if enabled {
 				s.red.Route(route).Observe(status, elapsed, sw.bytes)
-				// Edge streams are excluded from the latency SLO: a
-				// legitimate multi-minute stream is not a burn.
-				if !probe && route != "jobs.edges" {
+				// Streaming routes are excluded from the latency SLO: a
+				// legitimate multi-minute edge stream or block lease is
+				// not a burn.
+				if !probe && route != "jobs.edges" && route != "leases" {
 					s.sloHist.Observe(elapsed)
 				}
 			}

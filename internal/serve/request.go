@@ -29,6 +29,13 @@ import (
 const (
 	HeaderRequestID   = "X-Kronbip-Request-Id"
 	HeaderTraceparent = "Traceparent"
+	// HeaderIdempotencyKey makes POST /v1/jobs retry-safe: a resubmission
+	// carrying a key already bound to a job gets that job's status back
+	// (200) instead of enqueueing a duplicate — the contract a dist-gen
+	// coordinator relies on after a dropped response.  Keys share the
+	// request-id charset/length allowlist (they land in logs the same
+	// way).
+	HeaderIdempotencyKey = "X-Kronbip-Idempotency-Key"
 )
 
 // procPrefix is the process-unique 16-hex identity prefix; reqSeq
@@ -191,6 +198,8 @@ func routeLabel(r *http.Request) string {
 		return "stats"
 	case p == "/v1/truth":
 		return "truth"
+	case p == "/v1/leases":
+		return "leases"
 	case p == "/v1/jobs":
 		if r.Method == http.MethodPost {
 			return "jobs.submit"
@@ -243,5 +252,5 @@ func isProbeRoute(route string) bool {
 var routeLabels = []string{
 	"healthz", "readyz", "metrics", "metrics.json", "debug.flight",
 	"stats", "truth", "jobs.submit", "jobs.list", "jobs.get",
-	"jobs.cancel", "jobs.edges", "jobs.obs", "other",
+	"jobs.cancel", "jobs.edges", "jobs.obs", "leases", "other",
 }

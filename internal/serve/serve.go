@@ -68,7 +68,8 @@ var (
 	gQueueDepth   = obs.Default.Gauge("serve.jobs.queue_depth")
 	gJobsRunning  = obs.Default.Gauge("serve.jobs.running")
 	mSubmitted    = obs.Default.Counter("serve.jobs.submitted")
-	mRejected     = obs.Default.Counter("serve.jobs.rejected") // 429 + 413 + 503
+	mIdemReplays  = obs.Default.Counter("serve.jobs.idem_replays") // resubmissions answered from the idempotency index
+	mRejected     = obs.Default.Counter("serve.jobs.rejected")     // 429 + 413 + 503
 	mJobsDone     = obs.Default.Counter("serve.jobs.done")
 	mJobsFailed   = obs.Default.Counter("serve.jobs.failed")
 	mJobsCancel   = obs.Default.Counter("serve.jobs.cancelled")
@@ -119,6 +120,11 @@ type Config struct {
 	CacheSize int
 	// Shards is the per-job generation parallelism (default GOMAXPROCS).
 	Shards int
+	// MaxLeases caps concurrently-served block leases (POST /v1/leases);
+	// excess requests are answered 429 + Retry-After so a dist-gen
+	// coordinator routes the block to another replica instead of queueing
+	// (default 2×GOMAXPROCS).
+	MaxLeases int
 	// Audit runs the online ground-truth auditor inside every job
 	// (per-request "audit" fields override per job / per stream).
 	Audit bool
@@ -172,6 +178,9 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxLeases <= 0 {
+		c.MaxLeases = 2 * runtime.GOMAXPROCS(0)
+	}
 	if c.SLOWindow <= 0 {
 		c.SLOWindow = time.Minute
 	}
@@ -207,6 +216,11 @@ type Server struct {
 	slo      *obs.SLO
 	draining atomic.Bool
 	logMu    sync.Mutex
+
+	// leaseSem caps concurrent block leases (Config.MaxLeases): a lease
+	// is synchronous generation work, so admission is a semaphore, not
+	// the job queue.
+	leaseSem chan struct{}
 }
 
 // New builds a Server from cfg.  The job manager's workers start
@@ -214,12 +228,13 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		cache:   newProductCache(cfg.CacheSize),
-		mgr:     newManager(cfg),
-		started: time.Now(),
-		red:     obs.NewRED(obs.Default, "serve.http"),
-		sloHist: obs.Default.Histogram("serve.slo.seconds"),
+		cfg:      cfg,
+		cache:    newProductCache(cfg.CacheSize),
+		mgr:      newManager(cfg),
+		started:  time.Now(),
+		red:      obs.NewRED(obs.Default, "serve.http"),
+		sloHist:  obs.Default.Histogram("serve.slo.seconds"),
+		leaseSem: make(chan struct{}, cfg.MaxLeases),
 	}
 	// The evaluator reads the dedicated serve.slo.* traffic counters, not
 	// serve.http.*: probe routes (readyz/healthz/metrics) never reach the
