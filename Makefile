@@ -41,6 +41,7 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkStream_' -benchtime 10x .
 	$(GO) test -bench . -benchtime 100x ./internal/exec
 	$(GO) test -run XXX -bench 'BenchmarkServe' ./internal/serve
+	$(GO) test -run XXX -bench 'BenchmarkStreamWire' -benchtime 10x ./internal/serve
 	$(GO) test -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs
 	$(GO) test -run XXX -bench 'BenchmarkDistGen' ./internal/distgen
 
@@ -50,6 +51,7 @@ bench-json:
 	{ $(GO) test -json -run XXX -bench 'BenchmarkStream_' -benchtime 10x . ; \
 	  $(GO) test -json -run XXX -bench . -benchtime 100x ./internal/exec ; \
 	  $(GO) test -json -run XXX -bench 'BenchmarkServe' ./internal/serve ; \
+	  $(GO) test -json -run XXX -bench 'BenchmarkStreamWire' -benchtime 10x ./internal/serve ; \
 	  $(GO) test -json -run XXX -bench 'BenchmarkFlightRecorder' ./internal/obs ; \
 	  $(GO) test -json -run XXX -bench 'BenchmarkDistGen' ./internal/distgen ; } > BENCH_$(BENCH_DATE).json
 	@echo wrote BENCH_$(BENCH_DATE).json
@@ -57,8 +59,9 @@ bench-json:
 # bench-check compares the two most recent records: 2x threshold for
 # engine microbenchmarks (catches lost parallelism or accidental
 # quadratic blowups, not machine-to-machine noise), a tight 1.2x for
-# the BenchmarkStream_* family — a >20% slide in the edge-streaming hot
-# paths fails the build — and 1.5x for BenchmarkServe* (HTTP middleware
+# the BenchmarkStream_* and BenchmarkStreamWire* families — a >20%
+# slide in the edge-streaming or wire-encoding hot paths fails the
+# build — and 1.5x for BenchmarkServe* (HTTP middleware
 # per-request cost and per-job attribution overhead) and BenchmarkDistGen*
 # (the dist-gen coordinator's parse/verify/merge path).  Results under the
 # 500ns noise floor never fail: nanosecond ops at -benchtime 100x

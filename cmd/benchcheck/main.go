@@ -15,7 +15,8 @@
 // BenchmarkStream_* family is held to a tighter bound (-stream-threshold,
 // 1.2x by default): those benchmarks stream millions of edges per op, so
 // their ns/op is stable enough that a >20% slide means the hot loop
-// actually regressed.  Results whose new ns/op sits below the noise
+// actually regressed; BenchmarkStreamWire* (the binary wire format's
+// encode/socket/decode path) gets its own equally tight -wire-threshold.  Results whose new ns/op sits below the noise
 // floor (-noise-floor, 500ns by default) never fail regardless of
 // ratio: a 10ns op measured for 100 iterations is a ~1µs sample, and a
 // cache miss or a scheduler preemption triples it run to run.  A real
@@ -49,6 +50,7 @@ func realMain(args []string, out io.Writer) int {
 	dir := fs.String("dir", ".", "directory holding BENCH_<date>.json records")
 	threshold := fs.Float64("threshold", 2.0, "fail when new ns/op exceeds old by this factor")
 	streamThreshold := fs.Float64("stream-threshold", 1.2, "tighter factor applied to BenchmarkStream_* results")
+	wireThreshold := fs.Float64("wire-threshold", 1.2, "factor applied to BenchmarkStreamWire* results (binary wire encode/socket path)")
 	serveThreshold := fs.Float64("serve-threshold", 1.5, "factor applied to BenchmarkServe* results (middleware per-request cost)")
 	distgenThreshold := fs.Float64("distgen-threshold", 1.5, "factor applied to BenchmarkDistGen* results (coordinator merge path)")
 	noiseFloor := fs.Float64("noise-floor", 500, "ns/op below which a result never counts as regressed")
@@ -72,6 +74,7 @@ func realMain(args []string, out io.Writer) int {
 	th := thresholds{
 		general:    *threshold,
 		stream:     *streamThreshold,
+		wire:       *wireThreshold,
 		serve:      *serveThreshold,
 		distgen:    *distgenThreshold,
 		noiseFloor: *noiseFloor,
@@ -95,6 +98,7 @@ func realMain(args []string, out io.Writer) int {
 type thresholds struct {
 	general    float64
 	stream     float64
+	wire       float64
 	serve      float64
 	distgen    float64
 	noiseFloor float64
@@ -102,12 +106,18 @@ type thresholds struct {
 
 const (
 	streamPrefix  = "BenchmarkStream_"
+	wirePrefix    = "BenchmarkStreamWire"
 	servePrefix   = "BenchmarkServe"
 	distgenPrefix = "BenchmarkDistGen"
 )
 
 func (t thresholds) for_(name string) float64 {
 	switch {
+	case strings.HasPrefix(name, wirePrefix):
+		// The binary wire family streams the same millions of edges per op
+		// as BenchmarkStream_ (the underscore keeps the prefixes disjoint),
+		// so it earns the same tight bound.
+		return t.wire
 	case strings.HasPrefix(name, streamPrefix):
 		return t.stream
 	case strings.HasPrefix(name, servePrefix):
@@ -182,8 +192,8 @@ func compare(oldPath, newPath string, th thresholds, out io.Writer) error {
 		}
 	}
 	if regressed > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed beyond their limit (%.1fx general, %.1fx stream, %.1fx serve, %.1fx distgen; %s vs %s)",
-			regressed, th.general, th.stream, th.serve, th.distgen, filepath.Base(oldPath), filepath.Base(newPath))
+		return fmt.Errorf("%d benchmark(s) regressed beyond their limit (%.1fx general, %.1fx stream, %.1fx wire, %.1fx serve, %.1fx distgen; %s vs %s)",
+			regressed, th.general, th.stream, th.wire, th.serve, th.distgen, filepath.Base(oldPath), filepath.Base(newPath))
 	}
 	// Disjoint benchmark sets (a rename sweep, a record from a different
 	// package list) leave nothing comparable — note it and pass.

@@ -31,7 +31,7 @@ func cmdDistGen(ctx context.Context, args []string) error {
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	out := fs.String("edges-out", "-", "merged edge list destination ('-' for stdout)")
-	format := fs.String("format", "tsv", "edge rendering leased from workers and written out: tsv | ndjson")
+	format := fs.String("format", "tsv", "edge rendering leased from workers and written out: tsv | ndjson | bin (binary wire frames; dropped leases resume from the last complete frame)")
 	rows := fs.Int("rows", 0, "row blocks of the grid (0 = auto-size with -cols from -target-block-edges)")
 	cols := fs.Int("cols", 0, "column blocks of the grid (0 = auto-size)")
 	targetBlock := fs.Int64("target-block-edges", distgen.DefaultTargetBlockEdges, "auto-sizing per-block edge target")

@@ -175,6 +175,8 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	mode := fs.String("mode", "selfloop", "selfloop | nonbip")
 	seed := fs.Int64("seed", 2020, "factor seed")
 	out := fs.String("edges-out", "-", "edge list destination ('-' for stdout)")
+	offset := fs.Int64("offset", 0, "skip the first N edges of the canonical order (closed-form seek, no prefix work)")
+	limit := fs.Int64("limit", -1, "emit at most N edges from -offset (-1 = through the end)")
 	shards := fs.Int("shards", 0, "shard files to write in parallel (<edges-out>.shardK); 0 = GOMAXPROCS, 1 = single file; needs -edges-out for N>1")
 	timeout := fs.Duration("timeout", 0, "abort generation after this duration (0 = none)")
 	auditOn := fs.Bool("audit", false, "cross-check the streamed output against theorem ground truth (degree sums, dual-route 4-cycles, sampled edge membership and Thm. 3/4 spot checks); exit non-zero on any violation")
@@ -193,6 +195,27 @@ func cmdGenerate(ctx context.Context, args []string) error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// Resolve the requested edge range.  A ranged run is single-sharded
+	// (one ordered slice of the canonical stream) and unaudited (the
+	// audit invariants are whole-stream properties).
+	total := p.NumEdges()
+	lo, hi := *offset, total
+	if *limit >= 0 && lo+*limit < hi {
+		hi = lo + *limit
+	}
+	ranged := lo != 0 || hi != total
+	if ranged {
+		if *auditOn || *auditDrop > 0 {
+			return fmt.Errorf("-audit requires the full stream; drop -offset/-limit")
+		}
+		if *shards > 1 {
+			return fmt.Errorf("-shards %d cannot combine with -offset/-limit (a range is one ordered slice)", *shards)
+		}
+		if lo < 0 || lo > total {
+			return fmt.Errorf("-offset %d out of range [0,%d]", lo, total)
+		}
 	}
 
 	// Resolve -shards: unset/<=0 means "use every core".  Stdout can only
@@ -239,6 +262,9 @@ func cmdGenerate(ctx context.Context, args []string) error {
 	}).Start()
 
 	genErr := func() error {
+		if ranged {
+			return generateRange(ctx, p, *out, lo, hi, verb)
+		}
 		if nshards == 1 {
 			return generateSingle(ctx, p, *out, auditor, verb)
 		}
@@ -295,6 +321,44 @@ func generateSingle(ctx context.Context, p *core.Product, out string, auditor *a
 		return err
 	}
 	verb.Summaryf("%v\nstreamed %d edges; global 4-cycles (ground truth): %d\n", p, cnt.Count(), p.GlobalFourCycles())
+	return nil
+}
+
+// generateRange streams the [lo, hi) slice of the canonical edge order
+// through the closed-form seek (core.EachEdgeRange): no prefix is
+// generated, so resuming a multi-hour run at edge k costs O(K) to find
+// k, not O(k) to replay it.
+func generateRange(ctx context.Context, p *core.Product, out string, lo, hi int64, verb *cli.Verbosity) error {
+	w := os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	tsv := exec.NewTSVSink(w)
+	var cnt exec.CountingSink
+	var sinkErr error
+	err := p.EachEdgeRangeBatchContext(ctx, lo, hi, func(batch []exec.Edge) bool {
+		if e := tsv.EdgeBatch(batch); e != nil {
+			sinkErr = e
+			return false
+		}
+		_ = cnt.EdgeBatch(batch)
+		return true
+	})
+	if err == nil {
+		err = sinkErr
+	}
+	if ferr := tsv.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+	verb.Summaryf("%v\nstreamed edges [%d,%d) of %d (%d edges)\n", p, lo, hi, p.NumEdges(), cnt.Count())
 	return nil
 }
 

@@ -78,6 +78,15 @@ func (s *StreamAuditor) EdgeBatch(batch []exec.Edge) error {
 // adjustment).
 func (s *StreamAuditor) Edges() int64 { return s.edges.Load() }
 
+// Partial returns the stream-level tallies so far — membership checks
+// run and violations among them — without the end-of-stream checks a
+// Finalize would add.  This is what an aborted audited stream can still
+// report honestly: the count invariant is unjudgeable mid-stream, the
+// per-edge membership verdicts are not.
+func (s *StreamAuditor) Partial() (checks, violations int64) {
+	return s.sampled.Load(), s.bad.Load()
+}
+
 // InjectDrop makes the auditor behave as if n streamed edges had been
 // lost — the corruption hook behind the negative tests and the CLI's
 // -audit-inject-drop flag.  The count check must then fail.

@@ -62,6 +62,12 @@ type blockState struct {
 	inflight int       // outstanding leases (1 normally, 2 with a speculative duplicate)
 	attempts int       // failed leases so far, judged against MaxAttempts
 	issued   time.Time // earliest outstanding issue time (straggler clock)
+	// Banked resume state (bin format only): the complete-frame bytes
+	// salvaged from failed leases of this block.  The next lease resumes
+	// at partEdges instead of regenerating the whole block, and the
+	// accepted payload is the bank plus the resumed tail.
+	part      []byte
+	partEdges int64
 }
 
 // workerState is one replica's scheduling view.
@@ -79,6 +85,13 @@ type leaseResult struct {
 	edges   int64
 	dur     time.Duration
 	auditCh exec.Sink // unflushed per-block audit child; flushed only on acceptance
+	// Partial-lease salvage (bin format only): a failed lease may still
+	// carry the complete frames that reached the coordinator.  complete()
+	// banks them — guarded by base matching the block's banked offset —
+	// so the next attempt resumes from the frame boundary.
+	base         int64  // block-local offset this lease was issued at
+	partial      []byte // complete-frame bytes salvaged from a failed lease
+	partialEdges int64  // edges carried by partial
 }
 
 type coordinator struct {
@@ -213,8 +226,18 @@ func (c *coordinator) workerLoop(ctx context.Context, w *workerState) {
 		if !ok {
 			return
 		}
+		b := c.blocks[bi]
+		// Snapshot the banked resume state at issue time: the lease asks
+		// the worker for the block's tail from `base`, and acceptance
+		// re-checks the bank against the same snapshot.
+		c.mu.Lock()
+		base, banked := b.partEdges, b.part
+		c.mu.Unlock()
+		if base > 0 {
+			mLeasesResumed.Inc()
+		}
 		gWorkersBusy.Add(1)
-		res, err := c.lease(ctx, w, c.blocks[bi])
+		res, err := c.lease(ctx, w, b, base, banked)
 		gWorkersBusy.Add(-1)
 		c.complete(w, bi, speculative, res, err)
 	}
@@ -301,18 +324,41 @@ func (e *backoffError) Error() string {
 	return "distgen: worker saturated until " + e.until.Format(time.RFC3339)
 }
 
+// parseRetryAfter parses a Retry-After header in either RFC 9110 form —
+// delta-seconds or HTTP-date — clamping to a minimum of one second
+// (which also covers absent, malformed or already-elapsed values).
+func parseRetryAfter(h string, now time.Time) time.Duration {
+	var d time.Duration
+	if secs, err := strconv.Atoi(h); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		d = t.Sub(now)
+	}
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
 // lease executes one POST /v1/leases round trip for block b against w:
 // issue with the run's correlation identity, read the full payload,
 // verify the trailer and the closed-form count, and parse every edge
 // (feeding the un-merged audit child when auditing).  Any discrepancy is
 // an error — the worker is not trusted, the closed forms are.
-func (c *coordinator) lease(ctx context.Context, w *workerState, b *blockState) (*leaseResult, error) {
+//
+// base/banked are the block's resume snapshot (bin format only, both
+// zero otherwise): the worker is asked for the tail from block-local
+// offset base, and the accepted payload is banked + tail — which the
+// offset-deterministic framing makes byte-identical to an uninterrupted
+// lease.  A failed bin lease returns its salvageable complete-frame
+// prefix alongside the error.
+func (c *coordinator) lease(ctx context.Context, w *workerState, b *blockState, base int64, banked []byte) (*leaseResult, error) {
 	mLeasesIssued.Inc()
 	lctx, cancel := context.WithTimeout(ctx, c.opts.LeaseTimeout)
 	defer cancel()
 	body := fmt.Sprintf(
-		`{"factors":%s,"mode":%q,"seed":%d,"row":%d,"rows":%d,"col":%d,"cols":%d,"format":%q}`,
-		factorsJSON(c.sp.Factors), c.sp.Mode, c.sp.Seed, b.row, c.rows, b.col, c.cols, c.opts.Format)
+		`{"factors":%s,"mode":%q,"seed":%d,"row":%d,"rows":%d,"col":%d,"cols":%d,"format":%q,"offset":%d}`,
+		factorsJSON(c.sp.Factors), c.sp.Mode, c.sp.Seed, b.row, c.rows, b.col, c.cols, c.opts.Format, base)
 	req, err := http.NewRequestWithContext(lctx, http.MethodPost, w.url+"/v1/leases", strings.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -333,15 +379,14 @@ func (c *coordinator) lease(ctx context.Context, w *workerState, b *blockState) 
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, resp.Body)
-		secs, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-		if secs < 1 {
-			secs = 1
+		now := time.Now()
+		d := parseRetryAfter(resp.Header.Get("Retry-After"), now)
+		// The floor only raises the park; a server asking for longer is
+		// honored (it knows its own saturation better than our default).
+		if f := c.opts.backoffFloor; d < f {
+			d = f
 		}
-		until := time.Now().Add(time.Duration(secs) * time.Second)
-		if f := c.opts.backoffFloor; f > 0 {
-			until = time.Now().Add(f)
-		}
-		return nil, &backoffError{until: until}
+		return nil, &backoffError{until: now.Add(d)}
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return nil, fmt.Errorf("distgen: worker %s: lease (%d,%d): status %d: %s",
@@ -349,16 +394,29 @@ func (c *coordinator) lease(ctx context.Context, w *workerState, b *blockState) 
 	}
 	payload, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("distgen: worker %s: lease (%d,%d): read: %w", w.url, b.row, b.col, err)
+		return c.salvage(base, payload),
+			fmt.Errorf("distgen: worker %s: lease (%d,%d): read: %w", w.url, b.row, b.col, err)
 	}
 	if st := resp.Trailer.Get(serve.TrailerStatus); st != "complete" {
-		return nil, fmt.Errorf("distgen: worker %s: lease (%d,%d): trailer status %q", w.url, b.row, b.col, st)
+		return c.salvage(base, payload),
+			fmt.Errorf("distgen: worker %s: lease (%d,%d): trailer status %q", w.url, b.row, b.col, st)
 	}
-	res := &leaseResult{buf: payload, dur: time.Since(start)}
+	res := &leaseResult{buf: payload, dur: time.Since(start), base: base}
+	if base > 0 {
+		// Reassemble the whole block: banked complete frames + resumed
+		// tail.  Frame boundaries are a pure function of the offset, so
+		// this is the byte stream an uninterrupted lease would have sent,
+		// and the full-payload parse below re-verifies every frame of it
+		// (bank included) before acceptance.
+		assembled := make([]byte, 0, len(banked)+len(payload))
+		assembled = append(assembled, banked...)
+		assembled = append(assembled, payload...)
+		res.buf = assembled
+	}
 	if c.auditStream != nil {
 		res.auditCh = c.auditStream.ForShard()
 	}
-	res.edges, err = parseEdges(payload, c.opts.Format == "ndjson", res.auditCh)
+	res.edges, err = parseEdges(res.buf, c.opts.Format, res.auditCh)
 	if err != nil {
 		return nil, fmt.Errorf("distgen: worker %s: lease (%d,%d): %w", w.url, b.row, b.col, err)
 	}
@@ -367,6 +425,22 @@ func (c *coordinator) lease(ctx context.Context, w *workerState, b *blockState) 
 			w.url, b.row, b.col, res.edges, b.want)
 	}
 	return res, nil
+}
+
+// salvage extracts the complete-frame prefix of a failed bin lease's
+// payload.  Text renderings are never salvaged (a truncated line is
+// unframed), and a payload whose framing does not decode cleanly from
+// the issued offset is dropped wholesale — resume only trusts bytes the
+// wire format can vouch for.
+func (c *coordinator) salvage(base int64, payload []byte) *leaseResult {
+	if c.opts.Format != "bin" || len(payload) == 0 {
+		return nil
+	}
+	edges, _, trailing, err := serve.DecodeWire(payload, base, nil)
+	if err != nil || edges == 0 {
+		return nil
+	}
+	return &leaseResult{base: base, partial: payload[:len(payload)-trailing], partialEdges: edges}
 }
 
 // factorsJSON renders a factor list as a JSON string array (factor specs
@@ -384,9 +458,28 @@ func factorsJSON(fs []string) string {
 	return sb.String()
 }
 
-// parseEdges walks a lease payload, validating shape, counting edges and
-// feeding each to the audit child when one is supplied.
-func parseEdges(payload []byte, ndjson bool, auditCh exec.Sink) (int64, error) {
+// parseEdges walks a lease payload in the given format ("tsv", "ndjson"
+// or "bin"), validating shape, counting edges and feeding each to the
+// audit child when one is supplied.
+func parseEdges(payload []byte, format string, auditCh exec.Sink) (int64, error) {
+	if format == "bin" {
+		// A whole-block payload frames from block-local offset 0; the
+		// decoder enforces contiguity, and a truncated tail — tolerated
+		// on the salvage path — is a hard error here.
+		var yield func(v, w int)
+		if auditCh != nil {
+			yield = func(v, w int) { _ = auditCh.Edge(v, w) }
+		}
+		n, _, trailing, err := serve.DecodeWire(payload, 0, yield)
+		if err != nil {
+			return n, err
+		}
+		if trailing != 0 {
+			return n, fmt.Errorf("truncated payload: %d trailing bytes after the last complete frame", trailing)
+		}
+		return n, nil
+	}
+	ndjson := format == "ndjson"
 	var n int64
 	for len(payload) > 0 {
 		nl := bytes.IndexByte(payload, '\n')
@@ -459,6 +552,7 @@ func (c *coordinator) complete(w *workerState, bi int, speculative bool, res *le
 	case err == nil && !b.done:
 		b.done = true
 		b.buf = res.buf
+		b.part, b.partEdges = nil, 0 // the bank is folded into buf
 		c.doneCount++
 		w.stats.Leases++
 		w.consecFails = 0
@@ -490,6 +584,14 @@ func (c *coordinator) complete(w *workerState, bi int, speculative bool, res *le
 			// the block an attempt.
 			c.requeueLocked(bi)
 		} else {
+			if res != nil && res.partialEdges > 0 && !b.done && b.partEdges == res.base {
+				// Bank the failed lease's complete frames.  The base guard
+				// keeps the bank contiguous: a speculative twin that banked
+				// (or delivered) first makes this salvage stale, and stale
+				// partials are simply dropped.
+				b.part = append(b.part, res.partial...)
+				b.partEdges += res.partialEdges
+			}
 			w.stats.Failures++
 			w.consecFails++
 			w.backoffUntil = time.Now().Add(failureBackoff(w.consecFails))

@@ -11,7 +11,9 @@
 //
 //   - determinism: any replica produces byte-identical output for a
 //     given block, so a lease lost to a crash or deadline is simply
-//     re-issued elsewhere — at-least-once delivery with exact replays;
+//     re-issued elsewhere — at-least-once delivery with exact replays
+//     (and, with Format "bin", re-issued from the last complete wire
+//     frame the dying replica managed to deliver, not from scratch);
 //   - closed-form counts: core.BlockEdgeCount prices every block in
 //     O(K) before any generation, so the coordinator sizes a balanced
 //     grid up front and verifies every returned stream (and the
@@ -62,6 +64,7 @@ var (
 	mLeasesSpec     = obs.Default.Counter("distgen.leases.speculative")
 	mLeasesBackoff  = obs.Default.Counter("distgen.leases.backoff") // 429 deferrals
 	mLeasesFailed   = obs.Default.Counter("distgen.leases.failed")
+	mLeasesResumed  = obs.Default.Counter("distgen.leases.resumed") // banked-frame resumes issued
 	mBlocksDone     = obs.Default.Counter("distgen.blocks.done")
 	mEdgesMerged    = obs.Default.Counter("distgen.edges.merged")
 	gWorkersBusy    = obs.Default.Gauge("distgen.workers.busy")
@@ -101,7 +104,9 @@ type Options struct {
 	// audit package default).
 	AuditSample int
 	// Format selects the merged output rendering, forwarded to workers:
-	// "tsv" (default) or "ndjson".
+	// "tsv" (default), "ndjson" or "bin" (the binary wire format, which
+	// additionally lets a dropped lease resume from its last complete
+	// frame instead of regenerating the whole block).
 	Format string
 	// RequestID correlates the run across every replica's access log,
 	// timeline and flight recorder; generated when empty.  Propagated as
@@ -110,8 +115,8 @@ type Options struct {
 	RequestID string
 	// Client issues the lease requests (default http.DefaultClient).
 	Client *http.Client
-	// backoffFloor overrides the minimum 429 park duration in tests;
-	// zero keeps the Retry-After header's value.
+	// backoffFloor raises the minimum 429 park duration in tests; the
+	// Retry-After header still wins when it asks for longer.
 	backoffFloor time.Duration
 }
 
@@ -131,9 +136,9 @@ func (o Options) withDefaults() (Options, error) {
 	switch o.Format {
 	case "":
 		o.Format = "tsv"
-	case "tsv", "ndjson":
+	case "tsv", "ndjson", "bin":
 	default:
-		return o, fmt.Errorf("distgen: bad format %q (want tsv or ndjson)", o.Format)
+		return o, fmt.Errorf("distgen: bad format %q (want tsv, ndjson or bin)", o.Format)
 	}
 	if o.RequestID == "" {
 		o.RequestID = "distgen-" + randHex(8)

@@ -520,7 +520,7 @@ func BenchmarkDistGenMerge(b *testing.B) {
 		}
 		w := c.workers[0]
 		for bi, blk := range blocks {
-			n, err := parseEdges(blk.payload, false, nil)
+			n, err := parseEdges(blk.payload, "tsv", nil)
 			if err != nil {
 				b.Fatal(err)
 			}

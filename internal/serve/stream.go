@@ -3,8 +3,11 @@ package serve
 import (
 	"bufio"
 	"context"
+	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 
 	"kronbip/internal/audit"
 	"kronbip/internal/exec"
@@ -26,12 +29,23 @@ import (
 // slow consumer sees progress every few hundred KB.
 const streamFlushEdges = 16384
 
-// Trailer names for the streaming endpoint.
+// Trailer names for the streaming endpoint.  The Trailer header
+// announces exactly the set that will be sent: status and edge count
+// always, the audit pair only on audited streams (an aborted audited
+// stream still gets its partial tallies).
 const (
 	TrailerStatus          = "X-Kronbip-Status" // "complete" or "aborted"
 	TrailerEdges           = "X-Kronbip-Edges"  // edges actually sent
 	TrailerAuditChecks     = "X-Kronbip-Audit-Checks"
 	TrailerAuditViolations = "X-Kronbip-Audit-Violations"
+)
+
+// Range-streaming response headers: the closed-form stream total and
+// the granted starting offset, sent before the first edge so a client
+// that loses the connection knows how to size and resume its request.
+const (
+	HeaderStreamTotal  = "X-Kronbip-Stream-Total"
+	HeaderStreamOffset = "X-Kronbip-Stream-Offset"
 )
 
 // streamSink writes edges in the chosen rendering through a buffered
@@ -147,6 +161,87 @@ func (s *streamSink) Flush() error {
 	return s.bw.Flush()
 }
 
+func (s *streamSink) count() int64 { return s.n }
+
+// edgeStreamSink is what the streaming handlers need from a rendering:
+// the batched sink vocabulary, a flush, and the sent-edge count for the
+// trailers.  streamSink (ndjson/tsv) and binSink (bin) implement it.
+type edgeStreamSink interface {
+	exec.Sink
+	EdgeBatch(edges []exec.Edge) error
+	Flush() error
+	count() int64
+}
+
+// parseStreamFormat resolves the requested rendering: the explicit
+// format parameter wins, else an Accept header naming the binary media
+// type selects "bin", else ndjson.
+func parseStreamFormat(explicit, accept string) (string, error) {
+	switch explicit {
+	case "":
+		if strings.Contains(accept, ContentTypeBin) {
+			return "bin", nil
+		}
+		return "ndjson", nil
+	case "ndjson", "tsv", "bin":
+		return explicit, nil
+	}
+	return "", fmt.Errorf("bad format %q (want ndjson, tsv or bin)", explicit)
+}
+
+// contentTypeFor maps a resolved stream format to its media type.
+func contentTypeFor(format string) string {
+	switch format {
+	case "tsv":
+		return "text/tab-separated-values; charset=utf-8"
+	case "bin":
+		return ContentTypeBin
+	}
+	return "application/x-ndjson"
+}
+
+// streamTrailers returns the Trailer announcement for a stream:
+// exactly the trailers that will be sent.
+func streamTrailers(auditOn bool) string {
+	t := TrailerStatus + ", " + TrailerEdges
+	if auditOn {
+		t += ", " + TrailerAuditChecks + ", " + TrailerAuditViolations
+	}
+	return t
+}
+
+// parseEdgeRange resolves ?offset=/?limit= against the closed-form
+// stream total, writing the error response (400 on malformed values,
+// 416 with the total when offset points past the end) itself.
+func parseEdgeRange(w http.ResponseWriter, q url.Values, total int64) (lo, hi int64, ok bool) {
+	lo, hi = 0, total
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad offset %q (want a non-negative edge index)", v)
+			return 0, 0, false
+		}
+		if n > total {
+			w.Header().Set(HeaderStreamTotal, strconv.FormatInt(total, 10))
+			writeError(w, http.StatusRequestedRangeNotSatisfiable,
+				"offset %d beyond stream end (%d edges)", n, total)
+			return 0, 0, false
+		}
+		lo = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad limit %q (want a non-negative edge count)", v)
+			return 0, 0, false
+		}
+		if lo+n < hi {
+			hi = lo + n
+		}
+	}
+	return lo, hi, true
+}
+
 func (s *Server) handleJobEdges(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobFromPath(w, r)
 	if !ok {
@@ -157,16 +252,24 @@ func (s *Server) handleJobEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	ndjson := true
-	switch q.Get("format") {
-	case "", "ndjson":
-	case "tsv":
-		ndjson = false
-	default:
-		writeError(w, http.StatusBadRequest, "bad format %q (want ndjson or tsv)", q.Get("format"))
+	format, err := parseStreamFormat(q.Get("format"), r.Header.Get("Accept"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	auditOn := q.Get("audit") == "1" || q.Get("audit") == "true"
+	total := j.product.NumEdges()
+	lo, hi, ok := parseEdgeRange(w, q, total)
+	if !ok {
+		return
+	}
+	ranged := lo != 0 || hi != total
+	if auditOn && ranged {
+		// The audit invariants (exact count, degree sums) are whole-
+		// stream properties; a partial range can only fail them.
+		writeError(w, http.StatusBadRequest, "audit requires the full stream; drop offset/limit")
+		return
+	}
 
 	// The stream runs under the request context AND the job context:
 	// client disconnects and DELETE /v1/jobs/{id} both abort it
@@ -176,39 +279,80 @@ func (s *Server) handleJobEdges(w http.ResponseWriter, r *http.Request) {
 	stop := context.AfterFunc(j.ctx, cancel)
 	defer stop()
 
-	if ndjson {
-		w.Header().Set("Content-Type", "application/x-ndjson")
-	} else {
-		w.Header().Set("Content-Type", "text/tab-separated-values; charset=utf-8")
-	}
-	w.Header().Set("Trailer", TrailerStatus+", "+TrailerEdges+", "+TrailerAuditChecks+", "+TrailerAuditViolations)
+	w.Header().Set("Content-Type", contentTypeFor(format))
+	w.Header().Set(HeaderStreamTotal, strconv.FormatInt(total, 10))
+	w.Header().Set(HeaderStreamOffset, strconv.FormatInt(lo, 10))
+	w.Header().Set("Trailer", streamTrailers(auditOn))
 	w.WriteHeader(http.StatusOK)
 
 	var auditor *audit.Auditor
-	out := newStreamSink(w, ndjson)
-	sink := exec.Sink(out)
-	if auditOn {
-		auditor = audit.New(j.product, audit.Options{SampleEvery: s.cfg.AuditSample})
-		sink = exec.MultiSink{out, auditor.Stream().ForShard()}
+	var auditCh exec.Sink
+	var sent int64
+	switch {
+	case format == "bin" && !auditOn:
+		// Binary streams (full or ranged) take the parallel span encoder:
+		// framing is offset-deterministic, so spans encode concurrently
+		// and concatenate into the exact serial byte stream.
+		sent, err = streamBinParallel(ctx, w, j.product, lo, hi, s.cfg.Workers)
+	default:
+		var out edgeStreamSink
+		if format == "bin" {
+			out = newBinSink(w, j.product.TermEdgeStarts(), lo)
+		} else {
+			out = newStreamSink(w, format == "ndjson")
+		}
+		if ranged {
+			// Range streams take the closed-form seek: no prefix work, no
+			// audit (rejected above), one ordered walk of [lo, hi).
+			var sinkErr error
+			err = j.product.EachEdgeRangeBatchContext(ctx, lo, hi, func(batch []exec.Edge) bool {
+				if e := out.EdgeBatch(batch); e != nil {
+					sinkErr = e
+					return false
+				}
+				return true
+			})
+			if err == nil {
+				err = sinkErr
+			}
+		} else {
+			sink := exec.Sink(out)
+			if auditOn {
+				auditor = audit.New(j.product, audit.Options{SampleEvery: s.cfg.AuditSample})
+				auditCh = auditor.Stream().ForShard()
+				sink = exec.MultiSink{out, auditCh}
+			}
+			err = j.product.StreamEdgesParallelContext(ctx, 1, func(int) exec.Sink { return sink })
+		}
+		_ = out.Flush() // deliver the tail even on an aborted stream
+		sent = out.count()
 	}
-	err := j.product.StreamEdgesParallelContext(ctx, 1, func(int) exec.Sink { return sink })
-	_ = out.Flush() // deliver the tail even on an aborted stream
 
 	status := "complete"
 	if err != nil {
 		status = "aborted"
 		mStreamAborts.Inc()
 	}
-	if auditor != nil && err == nil {
-		report := auditor.Finalize()
-		w.Header().Set(TrailerAuditChecks, strconv.Itoa(report.Checks))
-		w.Header().Set(TrailerAuditViolations, strconv.Itoa(len(report.Violations)))
-		if !report.OK() {
-			status = "audit-violation"
+	if auditor != nil {
+		if err == nil {
+			report := auditor.Finalize()
+			w.Header().Set(TrailerAuditChecks, strconv.Itoa(report.Checks))
+			w.Header().Set(TrailerAuditViolations, strconv.Itoa(len(report.Violations)))
+			if !report.OK() {
+				status = "audit-violation"
+			}
+		} else {
+			// Aborted audited stream: fold the shard child's tallies and
+			// report the partial membership verdicts — announced
+			// trailers always arrive.
+			_ = exec.Finish(auditCh)
+			checks, violations := auditor.Stream().Partial()
+			w.Header().Set(TrailerAuditChecks, strconv.FormatInt(checks, 10))
+			w.Header().Set(TrailerAuditViolations, strconv.FormatInt(violations, 10))
 		}
 	}
 	w.Header().Set(TrailerStatus, status)
-	w.Header().Set(TrailerEdges, strconv.FormatInt(out.n, 10))
+	w.Header().Set(TrailerEdges, strconv.FormatInt(sent, 10))
 	// Repeat the request id as an unannounced trailer (TrailerPrefix):
 	// it already went out as a response header, but a consumer that
 	// piped the multi-GB body elsewhere sees the correlation key again

@@ -10,7 +10,11 @@
 #   3. submit a small selfloop⊗selfloop job (with a client traceparent,
 #      which must propagate), poll it to done
 #   4. stream the edge list as TSV and verify the line count against
-#      the closed-form /v1/truth edge count for the same spec
+#      the closed-form /v1/truth edge count for the same spec; kill a
+#      stream mid-flight, resume from ?offset=, and the stitched file
+#      is byte-identical to an uninterrupted fetch; the binary wire
+#      format (format=bin / Accept negotiation) streams deterministically
+#      and beats the text encoding on the wire
 #   5. saturate the 1-worker/1-slot queue with big jobs and verify the
 #      next submission bounces with 429 + Retry-After
 #   6. /metrics exposes the serve counters (incl. a real cache hit), the
@@ -130,6 +134,36 @@ streamed=$(jfield edges_streamed <"$tmp/poll.json")
 got=$(curl -fsS "$base/v1/jobs/$job_id/edges?format=tsv" | wc -l | tr -d ' ')
 [ "$got" = "$want" ] || fail "edge stream has $got lines, truth says $want"
 echo "serve-smoke: $got streamed edges match closed-form |E_C|=$want"
+
+# 4b. Mid-stream kill + resume: take the first half of the stream, drop
+# the connection, fetch the rest with ?offset=, and the stitched file
+# must match an uninterrupted fetch byte for byte.
+curl -fsS "$base/v1/jobs/$job_id/edges?format=tsv" -o "$tmp/full.tsv"
+cut=$((want / 2))
+(curl -s "$base/v1/jobs/$job_id/edges?format=tsv" || true) \
+  | head -n "$cut" >"$tmp/stitched.tsv"
+curl -fsS "$base/v1/jobs/$job_id/edges?format=tsv&offset=$cut" >>"$tmp/stitched.tsv"
+cmp -s "$tmp/full.tsv" "$tmp/stitched.tsv" \
+  || fail "resumed stream (killed at $cut, resumed via ?offset=) differs from uninterrupted fetch"
+echo "serve-smoke: stream killed at edge $cut resumed byte-identically"
+
+# 4c. Binary wire format: format=bin and Accept negotiation produce the
+# same deterministic byte stream, a past-the-end offset answers 416, and
+# the wire encoding is smaller than the text one.
+curl -fsS "$base/v1/jobs/$job_id/edges?format=bin" -o "$tmp/full.bin"
+[ -s "$tmp/full.bin" ] || fail "bin stream is empty"
+curl -fsS -H 'Accept: application/vnd.kronbip.edges' \
+  "$base/v1/jobs/$job_id/edges" -o "$tmp/accept.bin"
+cmp -s "$tmp/full.bin" "$tmp/accept.bin" \
+  || fail "Accept-negotiated bin stream differs from ?format=bin"
+code=$(curl -s -o /dev/null -w '%{http_code}' \
+  "$base/v1/jobs/$job_id/edges?format=bin&offset=$((want + 1))")
+[ "$code" = 416 ] || fail "offset past the end answered $code, want 416"
+tsv_bytes=$(wc -c <"$tmp/full.tsv" | tr -d ' ')
+bin_bytes=$(wc -c <"$tmp/full.bin" | tr -d ' ')
+[ "$bin_bytes" -lt "$tsv_bytes" ] \
+  || fail "bin stream ($bin_bytes B) not smaller than tsv ($tsv_bytes B)"
+echo "serve-smoke: bin wire format deterministic ($bin_bytes B vs $tsv_bytes B tsv), 416 past the end"
 
 # 5. Saturation → 429 + Retry-After.  Two long jobs occupy the single
 # worker and the single queue slot; the probe must bounce.
